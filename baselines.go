@@ -1,0 +1,40 @@
+package lion
+
+import (
+	"github.com/rfid-lion/lion/internal/hologram"
+	"github.com/rfid-lion/lion/internal/hyperbola"
+)
+
+// Baseline methods from the paper's related work, exported so downstream
+// users can compare against LION on their own data.
+type (
+	// HologramConfig describes the DAH grid search volume.
+	HologramConfig = hologram.Config
+	// HologramResult is a hologram estimate.
+	HologramResult = hologram.Result
+	// AntennaReading is one antenna's measurement of a static tag for the
+	// multi-antenna hologram.
+	AntennaReading = hologram.AntennaReading
+	// HyperbolaOptions configures the Gauss–Newton hyperbola baseline.
+	HyperbolaOptions = hyperbola.Options
+	// HyperbolaResult is a hyperbola-intersection estimate.
+	HyperbolaResult = hyperbola.Result
+)
+
+// LocateHologram runs the Tagoram-style differential augmented hologram
+// (grid search) over measurements at known tag positions.
+func LocateHologram(obs []PosPhase, cfg HologramConfig) (*HologramResult, error) {
+	return hologram.Locate(obs, cfg)
+}
+
+// LocateTagMultiAntenna locates a static tag from several antennas'
+// readings with the differential hologram; calibration quality enters
+// through each reading's Center and Offset.
+func LocateTagMultiAntenna(readings []AntennaReading, cfg HologramConfig) (*HologramResult, error) {
+	return hologram.LocateTagMultiAntenna(readings, cfg)
+}
+
+// LocateHyperbola runs the Gauss–Newton hyperbola-intersection baseline.
+func LocateHyperbola(obs []PosPhase, lambda float64, pairs []Pair, init Vec3, opts HyperbolaOptions) (*HyperbolaResult, error) {
+	return hyperbola.Locate(obs, lambda, pairs, init, opts)
+}

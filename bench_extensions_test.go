@@ -1,0 +1,127 @@
+package lion_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	lion "github.com/rfid-lion/lion"
+)
+
+// BenchmarkSolverMultiChannel measures the frequency-hopping solve: three
+// channels, one shared coordinate pair, one d_r per channel.
+func BenchmarkSolverMultiChannel(b *testing.B) {
+	ant := lion.V3(0.9, 0.3, 0)
+	lambdas := []float64{0.332, 0.3276, 0.3233}
+	chans := make([]lion.ChannelObservations, 3)
+	for c := range chans {
+		chans[c].Lambda = lambdas[c]
+	}
+	n := 240
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		p := lion.V3(0.3*math.Cos(a), 0.3*math.Sin(a), 0)
+		c := (i / 10) % 3
+		chans[c].Obs = append(chans[c].Obs, lion.PosPhase{
+			Pos:   p,
+			Theta: lion.PhaseOfDistance(ant.Dist(p), lambdas[c]),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lion.Locate2DMultiChannel(chans, 20, lion.DefaultSolveOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrackerPush measures the steady-state cost of one streaming
+// update including the periodic re-solve (one solve per 10 pushes here).
+func BenchmarkTrackerPush(b *testing.B) {
+	lambda := lion.DefaultBand().Wavelength()
+	trk, err := lion.NewTracker(lion.TrackerConfig{
+		Lambda:       lambda,
+		AntennaPos:   lion.V3(0, 0.8, 0),
+		TrackDir:     lion.V3(1, 0, 0),
+		Speed:        0.1,
+		WindowSize:   400,
+		MinWindow:    200,
+		Every:        10,
+		PositiveSide: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ant := lion.V3(0, 0.8, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One synthetic item per 1000 reads; reset between items as a real
+		// deployment would when a new EPC enters the read zone.
+		step := i % 1000
+		if step == 0 {
+			trk.Reset()
+		}
+		at := time.Duration(step) * 10 * time.Millisecond
+		pos := lion.V3(-0.5+0.001*float64(step), 0, 0)
+		phase := lion.WrapPhase(lion.PhaseOfDistance(ant.Dist(pos), lambda))
+		if _, err := trk.Push(at, phase); err != nil && !errors.Is(err, lion.ErrTrackerNotReady) {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCalibrationPipeline measures one full three-line calibration:
+// preprocess, structured solve, and offset estimation on a realistic scan.
+func BenchmarkCalibrationPipeline(b *testing.B) {
+	env, err := lion.NewEnvironment()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reader, err := lion.NewReader(env, lion.ReaderConfig{RateHz: 100, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ant := &lion.Antenna{
+		PhysicalCenter:    lion.V3(0, 0.8, 0),
+		PhaseCenterOffset: lion.V3(0.02, -0.015, 0.025),
+		PhaseOffset:       2.0,
+	}
+	tag := &lion.Tag{PhaseOffset: 0.3}
+	scan, err := lion.NewThreeLineScan(lion.ThreeLineConfig{
+		XMin: -0.6, XMax: 0.6, YSpacing: 0.2, ZSpacing: 0.2, Speed: 0.1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples, err := reader.Scan(ant, tag, scan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs, err := lion.Preprocess(lion.Positions(samples), lion.Phases(samples), 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := lion.ThreeLineInput{Lambda: env.Wavelength()}
+		for j, s := range samples {
+			switch s.Segment {
+			case lion.LineL1:
+				in.L1 = append(in.L1, obs[j])
+			case lion.LineL2:
+				in.L2 = append(in.L2, obs[j])
+			case lion.LineL3:
+				in.L3 = append(in.L3, obs[j])
+			}
+		}
+		sol, err := lion.LocateThreeLine(in, lion.DefaultStructuredOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := lion.PhaseOffset(lion.Positions(samples), lion.Phases(samples),
+			sol.Position, env.Wavelength()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

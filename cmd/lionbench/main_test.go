@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunnersCoverEveryExperiment(t *testing.T) {
+	want := []string{
+		"fig2", "fig3", "fig4", "fig6", "fig9", "fig13",
+		"fig14a", "fig14b", "fig15", "fig16-17", "fig18",
+		"fig19-20", "fig21", "ablation",
+	}
+	rs := runners()
+	if len(rs) != len(want) {
+		t.Fatalf("%d runners, want %d", len(rs), len(want))
+	}
+	for i, w := range want {
+		if rs[i].name != w {
+			t.Errorf("runner %d = %q, want %q", i, rs[i].name, w)
+		}
+	}
+}
+
+func TestRunSelectedExperiments(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-fast", "-only", "fig2,fig21"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Fig. 2") {
+		t.Error("fig2 table missing")
+	}
+	if !strings.Contains(text, "Fig. 21") {
+		t.Error("fig21 table missing")
+	}
+	if strings.Contains(text, "Fig. 13") {
+		t.Error("unselected fig13 ran")
+	}
+}
+
+func TestRunWritesReportFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.txt")
+	var out strings.Builder
+	if err := run([]string{"-fast", "-only", "fig2", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Fig. 2") {
+		t.Error("report file missing content")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

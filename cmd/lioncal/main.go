@@ -1,0 +1,267 @@
+// Command lioncal runs the LION calibration pipeline on a CSV scan dataset
+// (as produced by lionsim or a real LLRP logger): it estimates the
+// antenna's phase center with the linear localization model, reports the
+// displacement from a user-supplied physical center, and estimates the
+// phase offset.
+//
+// Example:
+//
+//	lionsim -scenario threeline -o scan.csv
+//	lioncal -in scan.csv -mode threeline -physical 0,0.8,0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	lion "github.com/rfid-lion/lion"
+	"github.com/rfid-lion/lion/internal/dataset"
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/sim"
+	"github.com/rfid-lion/lion/internal/traject"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lioncal:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lioncal", flag.ContinueOnError)
+	var (
+		in   = fs.String("in", "", "input CSV dataset (required)")
+		mode = fs.String("mode", "threeline",
+			"scan type: threeline, twoline, line, planar, multichannel")
+		freq     = fs.Float64("freq", 920.625e6, "carrier frequency, Hz")
+		physical = fs.String("physical", "",
+			"physical center as x,y,z to report the displacement against")
+		smooth    = fs.Int("smooth", 9, "moving-average window (odd), 0 = off")
+		interval  = fs.Float64("interval", 0.2, "pairing interval x_o, m")
+		scanRange = fs.Float64("range", 0.8,
+			"scanning range, m (0 = use everything)")
+		adaptive = fs.Bool("adaptive", true,
+			"sweep range/interval and fuse by the residual rule")
+		side = fs.Bool("above", true,
+			"target on the positive side (above the plane / +90° of the line)")
+		hopFreqs = fs.String("channels", "",
+			"comma-separated hop frequencies in Hz, indexed by the dataset's channel column (multichannel mode)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -in")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	samples, err := dataset.Read(f)
+	if err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("dataset %s is empty", *in)
+	}
+
+	band := lion.Band{FrequencyHz: *freq}
+	if err := band.Validate(); err != nil {
+		return err
+	}
+	lambda := band.Wavelength()
+
+	var sol lion.Vec3
+	if *mode == "multichannel" {
+		sol, err = locateMultiChannel(samples, *hopFreqs, *smooth)
+	} else {
+		var obs []lion.PosPhase
+		obs, err = lion.Preprocess(sim.Positions(samples), sim.Phases(samples), *smooth)
+		if err != nil {
+			return err
+		}
+		sol, err = locate(*mode, obs, samples, lambda, *interval, *scanRange, *adaptive, *side)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("reads:            %d\n", len(samples))
+	fmt.Printf("wavelength:       %.4f m\n", lambda)
+	fmt.Printf("estimated center: %v\n", sol)
+	if *physical != "" {
+		phys, err := parseVec3(*physical)
+		if err != nil {
+			return err
+		}
+		calib := lion.CenterCalibration{
+			PhysicalCenter:  phys,
+			EstimatedCenter: sol,
+		}
+		fmt.Printf("physical center:  %v\n", phys)
+		fmt.Printf("displacement:     %v (%.2f cm)\n",
+			calib.Displacement(), calib.DisplacementNorm()*100)
+	}
+	if *mode == "multichannel" {
+		// Offsets are channel-specific under hopping; a single figure
+		// against one carrier would be misleading.
+		fmt.Println("phase offset:     per-channel under hopping (not reported)")
+		return nil
+	}
+	offset, err := lion.PhaseOffset(sim.Positions(samples), sim.Phases(samples), sol, lambda)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("phase offset:     %.4f rad (tag + antenna combined)\n", offset)
+	return nil
+}
+
+// locate dispatches on the scan mode and returns the estimated center.
+func locate(mode string, obs []lion.PosPhase, samples []sim.Sample, lambda, interval, scanRange float64, adaptive, side bool) (lion.Vec3, error) {
+	split := func(label int) []lion.PosPhase {
+		var out []lion.PosPhase
+		for i, s := range samples {
+			if s.Segment == label {
+				out = append(out, obs[i])
+			}
+		}
+		return out
+	}
+	opts := lion.StructuredOptions{
+		ScanRange: scanRange,
+		Interval:  interval,
+		Solve:     lion.DefaultSolveOptions(),
+	}
+	ranges := []float64{scanRange}
+	intervals := []float64{interval}
+	if adaptive {
+		ranges = []float64{0.6, 0.8, 1.0}
+		intervals = []float64{0.15, 0.2, 0.25}
+	}
+	switch mode {
+	case "threeline":
+		in := lion.ThreeLineInput{
+			L1:     split(traject.LineL1),
+			L2:     split(traject.LineL2),
+			L3:     split(traject.LineL3),
+			Lambda: lambda,
+		}
+		if adaptive {
+			res, err := lion.AdaptiveLocateThreeLine(in, ranges, intervals,
+				lion.StructuredOptions{Solve: lion.DefaultSolveOptions()})
+			if err != nil {
+				return lion.Vec3{}, err
+			}
+			return res.Position, nil
+		}
+		sol, err := lion.LocateThreeLine(in, opts)
+		if err != nil {
+			return lion.Vec3{}, err
+		}
+		return sol.Position, nil
+	case "twoline":
+		in := lion.TwoLineInput{
+			L1:     split(traject.LineL1),
+			L2:     split(traject.LineL2),
+			Lambda: lambda,
+		}
+		if adaptive {
+			res, err := lion.AdaptiveLocateTwoLine(in, side, ranges, intervals,
+				lion.StructuredOptions{Solve: lion.DefaultSolveOptions()})
+			if err != nil {
+				return lion.Vec3{}, err
+			}
+			return res.Position, nil
+		}
+		sol, err := lion.LocateTwoLine(in, side, opts)
+		if err != nil {
+			return lion.Vec3{}, err
+		}
+		return sol.Position, nil
+	case "line":
+		sol, err := lion.Locate2DLine(obs, lambda, interval, side,
+			lion.DefaultSolveOptions())
+		if err != nil {
+			return lion.Vec3{}, err
+		}
+		return sol.Position, nil
+	case "planar":
+		pairs := lion.StridePairs(len(obs), len(obs)/4)
+		sol, err := lion.Locate3DPlanar(obs, lambda, pairs, side,
+			lion.DefaultSolveOptions())
+		if err != nil {
+			return lion.Vec3{}, err
+		}
+		return sol.Position, nil
+	default:
+		return lion.Vec3{}, fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+// locateMultiChannel splits a channel-hopped dataset by channel, unwraps
+// each channel's profile separately, and runs the joint multi-channel solve.
+func locateMultiChannel(samples []sim.Sample, hopFreqs string, smooth int) (lion.Vec3, error) {
+	if hopFreqs == "" {
+		return lion.Vec3{}, fmt.Errorf("multichannel mode needs -channels")
+	}
+	var freqs []float64
+	for _, part := range strings.Split(hopFreqs, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return lion.Vec3{}, fmt.Errorf("channel frequency %q: %w", part, err)
+		}
+		freqs = append(freqs, f)
+	}
+	byChannel := map[int][]sim.Sample{}
+	for _, s := range samples {
+		byChannel[s.Channel] = append(byChannel[s.Channel], s)
+	}
+	var chans []lion.ChannelObservations
+	minLen := 0
+	for c, chSamples := range byChannel {
+		if c < 0 || c >= len(freqs) {
+			return lion.Vec3{}, fmt.Errorf("channel index %d outside -channels list", c)
+		}
+		band := lion.Band{FrequencyHz: freqs[c]}
+		if err := band.Validate(); err != nil {
+			return lion.Vec3{}, err
+		}
+		obs, err := lion.Preprocess(sim.Positions(chSamples), sim.Phases(chSamples), smooth)
+		if err != nil {
+			return lion.Vec3{}, err
+		}
+		chans = append(chans, lion.ChannelObservations{Lambda: band.Wavelength(), Obs: obs})
+		if minLen == 0 || len(obs) < minLen {
+			minLen = len(obs)
+		}
+	}
+	sol, err := lion.Locate2DMultiChannel(chans, minLen/4, lion.DefaultSolveOptions())
+	if err != nil {
+		return lion.Vec3{}, err
+	}
+	return sol.Position, nil
+}
+
+// parseVec3 parses "x,y,z".
+func parseVec3(s string) (geom.Vec3, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return geom.Vec3{}, fmt.Errorf("want x,y,z, got %q", s)
+	}
+	var vals [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geom.Vec3{}, fmt.Errorf("component %d of %q: %w", i, s, err)
+		}
+		vals[i] = v
+	}
+	return geom.V3(vals[0], vals[1], vals[2]), nil
+}

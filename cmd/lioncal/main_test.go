@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	lion "github.com/rfid-lion/lion"
+	"github.com/rfid-lion/lion/internal/dataset"
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/traject"
+)
+
+func TestParseVec3(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    geom.Vec3
+		wantErr bool
+	}{
+		{"1,2,3", geom.V3(1, 2, 3), false},
+		{" 0.5 , -0.25 , 0 ", geom.V3(0.5, -0.25, 0), false},
+		{"1,2", geom.Vec3{}, true},
+		{"1,2,3,4", geom.Vec3{}, true},
+		{"a,2,3", geom.Vec3{}, true},
+	}
+	for _, tt := range tests {
+		got, err := parseVec3(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseVec3(%q) err = %v", tt.in, err)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("parseVec3(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+// writeScanDataset simulates a three-line calibration scan and writes it as
+// CSV, returning the path and the true phase center.
+func writeScanDataset(t *testing.T) (string, geom.Vec3) {
+	t.Helper()
+	env, err := lion.NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := lion.NewReader(env, lion.ReaderConfig{RateHz: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ant := &lion.Antenna{
+		ID:                "A1",
+		PhysicalCenter:    geom.V3(0, 0.8, 0),
+		PhaseCenterOffset: geom.V3(0.02, -0.015, 0.025),
+		PhaseOffset:       2.0,
+	}
+	tag := &lion.Tag{ID: "T1", PhaseOffset: 0.3}
+	scan, err := traject.NewThreeLineScan(traject.ThreeLineConfig{
+		XMin: -0.6, XMax: 0.6, YSpacing: 0.2, ZSpacing: 0.2, Speed: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift the scan 0.8 m in front of the antenna? The antenna is at
+	// y=0.8 looking at the track at y=0 — the scan stays at y=0.
+	samples, err := reader.Scan(ant, tag, scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scan.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := dataset.Write(f, samples); err != nil {
+		t.Fatal(err)
+	}
+	return path, ant.PhaseCenter()
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	path, _ := writeScanDataset(t)
+	if err := run([]string{"-in", path, "-mode", "threeline", "-physical", "0,0.8,0"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunMissingInput(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent.csv"}); err == nil {
+		t.Error("nonexistent file accepted")
+	}
+}
+
+func TestRunBadMode(t *testing.T) {
+	path, _ := writeScanDataset(t)
+	if err := run([]string{"-in", path, "-mode", "bogus"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestRunBadFrequency(t *testing.T) {
+	path, _ := writeScanDataset(t)
+	if err := run([]string{"-in", path, "-freq", "-1"}); err == nil {
+		t.Error("negative frequency accepted")
+	}
+}
+
+func TestLocateDispatch(t *testing.T) {
+	path, truth := writeScanDataset(t)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	samples, err := dataset.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := lion.DefaultBand().Wavelength()
+	obs, err := lion.Preprocess(lion.Positions(samples), lion.Phases(samples), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, err := locate("threeline", obs, samples, lambda, 0.2, 0.8, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pos.Dist(truth); d > 0.03 {
+		t.Errorf("threeline estimate off by %v m", d)
+	}
+	if _, err := locate("nope", obs, samples, lambda, 0.2, 0.8, true, true); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

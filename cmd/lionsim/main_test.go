@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/rfid-lion/lion/internal/dataset"
+	"github.com/rfid-lion/lion/internal/traject"
+)
+
+func TestRunScenarios(t *testing.T) {
+	for _, scenario := range []string{"linear", "threeline", "twoline", "circle"} {
+		t.Run(scenario, func(t *testing.T) {
+			out := filepath.Join(t.TempDir(), "scan.csv")
+			err := run([]string{
+				"-scenario", scenario, "-o", out,
+				"-span", "0.8", "-rate", "50",
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			f, err := os.Open(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			samples, err := dataset.Read(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(samples) < 50 {
+				t.Errorf("only %d samples", len(samples))
+			}
+			for _, s := range samples {
+				if s.Phase < 0 || s.Phase >= 6.2832 {
+					t.Fatalf("phase %v out of range", s.Phase)
+				}
+			}
+			if scenario == "threeline" {
+				labels := map[int]bool{}
+				for _, s := range samples {
+					labels[s.Segment] = true
+				}
+				for _, want := range []int{traject.LineL1, traject.LineL2, traject.LineL3} {
+					if !labels[want] {
+						t.Errorf("segment %d missing", want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "spiral"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestRunBadRate(t *testing.T) {
+	if err := run([]string{"-rate", "0"}); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestRoundTripWithLioncalFormat(t *testing.T) {
+	// lionsim output must be readable by the dataset package (and hence by
+	// lioncal) without loss.
+	out := filepath.Join(t.TempDir(), "scan.csv")
+	if err := run([]string{"-scenario", "linear", "-o", out, "-noise", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	samples, err := dataset.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noiseless linear scan: positions strictly increasing in x.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].TagPos.X <= samples[i-1].TagPos.X {
+			t.Fatalf("positions not increasing at %d", i)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Command conveyor demonstrates the paper's industrial motivation: tagged
+// items ride a conveyor past a calibrated antenna, and LION pins down each
+// item's position on the belt from its phase stream — in real time, on
+// edge-class compute.
+//
+// The unknown is each item's start position on the belt; the belt geometry
+// and speed are known. LION therefore locates the antenna in the item's
+// track frame and subtracts, which also shows why phase-center calibration
+// matters: anchoring on the physical center instead of the calibrated phase
+// center shifts every item estimate by the displacement.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	lion "github.com/rfid-lion/lion"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	env, err := lion.NewEnvironment()
+	if err != nil {
+		return err
+	}
+	// A mildly hostile hall: bursty multipath fades on top of the noise.
+	env.Fading = &lion.FadeModel{
+		RatePerMeter: 0.3, RefDistance: 0.8,
+		MinLength: 0.05, MaxLength: 0.12, MaxBias: 1.2,
+	}
+	reader, err := lion.NewReader(env, lion.ReaderConfig{RateHz: 100, Seed: 42})
+	if err != nil {
+		return err
+	}
+	beam, err := lion.NewBeam(lion.V3(0, -1, 0), 70*3.14159/180)
+	if err != nil {
+		return err
+	}
+	antenna := &lion.Antenna{
+		ID:                "gate",
+		PhysicalCenter:    lion.V3(0, 0.8, 0),
+		PhaseCenterOffset: lion.V3(0.022, -0.018, 0),
+		Beam:              beam,
+	}
+	// Assume the antenna was calibrated in advance (see the multiantenna
+	// example for the calibration pipeline); here we idealise a perfect
+	// calibration and compare against the uncalibrated anchor.
+	calibratedCenter := antenna.PhaseCenter()
+
+	items := []struct {
+		epc   string
+		start lion.Vec3
+	}{
+		{"E280-1160-0001", lion.V3(-0.15, 0, 0)},
+		{"E280-1160-0002", lion.V3(0.05, 0, 0)},
+		{"E280-1160-0003", lion.V3(0.20, 0, 0)},
+	}
+
+	fmt.Println("item             true x (cm)  est x (cm)  err calibrated  err uncalibrated  time")
+	for i, item := range items {
+		tag := &lion.Tag{ID: item.epc, PhaseOffset: 0.3 + 0.2*float64(i)}
+		// The item rides 1.2 m of belt through the read zone.
+		track, err := lion.NewLinear(
+			item.start.Add(lion.V3(-0.6, 0, 0)),
+			item.start.Add(lion.V3(0.6, 0, 0)), 0.1)
+		if err != nil {
+			return err
+		}
+		samples, err := reader.Scan(antenna, tag, track)
+		if err != nil {
+			return err
+		}
+		obs, err := lion.Preprocess(lion.Positions(samples), lion.Phases(samples), 9)
+		if err != nil {
+			return err
+		}
+		// Shift into the item's track frame (relative belt motion is known
+		// from the encoder; the absolute start is what we estimate).
+		rel := make([]lion.PosPhase, len(obs))
+		for j, o := range obs {
+			rel[j] = lion.PosPhase{Pos: o.Pos.Sub(item.start), Theta: o.Theta}
+		}
+
+		begin := time.Now()
+		sol, err := lion.Locate2DLineIntervals(rel, env.Wavelength(),
+			[]float64{0.2, 0.4, 0.6}, true, lion.DefaultSolveOptions())
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(begin)
+
+		estCal := calibratedCenter.Sub(sol.Position)
+		estRaw := antenna.PhysicalCenter.Sub(sol.Position)
+		fmt.Printf("%s   %8.1f  %10.1f  %14.2f  %16.2f  %s\n",
+			item.epc,
+			item.start.X*100,
+			estCal.X*100,
+			estCal.XY().Dist(item.start.XY())*100,
+			estRaw.XY().Dist(item.start.XY())*100,
+			elapsed.Round(10*time.Microsecond),
+		)
+	}
+	fmt.Println("\n(errors in cm; calibration removes the phase-center displacement bias)")
+	return nil
+}

@@ -1,0 +1,74 @@
+// Command quickstart is the smallest end-to-end LION run: simulate a tag
+// sliding past an antenna, preprocess the reported phases, and locate the
+// antenna with the linear model — all in a few milliseconds, no hardware.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lion "github.com/rfid-lion/lion"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A free-space environment on the paper's 920.625 MHz carrier with
+	// Gaussian phase noise N(0, 0.1) rad.
+	env, err := lion.NewEnvironment()
+	if err != nil {
+		return err
+	}
+	reader, err := lion.NewReader(env, lion.DefaultReaderConfig())
+	if err != nil {
+		return err
+	}
+
+	// The antenna whose position we want to find. Its true phase center is
+	// displaced ~3 cm from the mounting position, as on real hardware.
+	antenna := &lion.Antenna{
+		ID:                "A1",
+		PhysicalCenter:    lion.V3(0.20, 1.00, 0),
+		PhaseCenterOffset: lion.V3(0.025, -0.015, 0),
+		PhaseOffset:       2.74, // hardware-dependent constant
+	}
+	tag := &lion.Tag{ID: "T1", PhaseOffset: 0.4}
+
+	// The tag slides 1 m along the x-axis at 10 cm/s — the paper's
+	// conveyor setup.
+	track, err := lion.NewLinear(lion.V3(-0.5, 0, 0), lion.V3(0.5, 0, 0), 0.1)
+	if err != nil {
+		return err
+	}
+	samples, err := reader.Scan(antenna, tag, track)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collected %d phase reads over %.0f s\n",
+		len(samples), lion.ScanDuration(track).Seconds())
+
+	// Preprocess: unwrap the modulo-2π phases and smooth.
+	obs, err := lion.Preprocess(lion.Positions(samples), lion.Phases(samples), 9)
+	if err != nil {
+		return err
+	}
+
+	// Locate: a single linear trajectory is the lower-dimension case; the
+	// perpendicular coordinate comes from the reference distance d_r.
+	sol, err := lion.Locate2DLine(obs, env.Wavelength(), 0.2, true,
+		lion.DefaultSolveOptions())
+	if err != nil {
+		return err
+	}
+
+	truth := antenna.PhaseCenter()
+	fmt.Printf("true phase center:      %v\n", truth)
+	fmt.Printf("estimated phase center: %v\n", sol.Position)
+	fmt.Printf("error: %.2f cm (IRWLS iterations: %d)\n",
+		sol.Position.Dist(truth)*100, sol.Iterations)
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/rfid-lion/lion
+
+go 1.22

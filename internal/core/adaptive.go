@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"github.com/rfid-lion/lion/internal/geom"
+)
+
+// ErrNoCandidates is returned when no parameter combination produced a
+// usable solution.
+var ErrNoCandidates = errors.New("core: no parameter combination produced a solution")
+
+// Candidate is one parameter combination evaluated by the adaptive scheme.
+type Candidate struct {
+	ScanRange float64
+	Interval  float64
+	Solution  *Solution
+	Err       error
+}
+
+// AdaptiveResult is the outcome of the adaptive parameter selection scheme
+// (Sec. IV-C-1): the averaged position of the selected candidates plus the
+// full sweep for inspection.
+type AdaptiveResult struct {
+	// Position is the average of the selected candidates' estimates.
+	Position geom.Vec3
+	// Selected are the candidates whose |mean residual| was closest to
+	// zero.
+	Selected []Candidate
+	// All is the full sweep, including failures.
+	All []Candidate
+}
+
+// selectionSlack is the multiplicative band above the best |mean residual|
+// within which candidates are still averaged. The paper selects "the
+// estimations with absolute residual around zero"; a tight band around the
+// minimum realises that rule deterministically.
+const selectionSlack = 1.5
+
+// SelectByResidual implements the paper's rule on an existing sweep: keep
+// the candidates whose |mean residual| is within a small band of the best,
+// and average their positions.
+func SelectByResidual(cands []Candidate) (*AdaptiveResult, error) {
+	best := math.Inf(1)
+	for _, c := range cands {
+		if c.Err != nil || c.Solution == nil || !c.Solution.Position.IsFinite() {
+			continue
+		}
+		if r := math.Abs(c.Solution.MeanResidual); r < best {
+			best = r
+		}
+	}
+	if math.IsInf(best, 1) {
+		return nil, ErrNoCandidates
+	}
+	limit := best*selectionSlack + 1e-12
+	res := &AdaptiveResult{All: cands}
+	var sum geom.Vec3
+	for _, c := range cands {
+		if c.Err != nil || c.Solution == nil || !c.Solution.Position.IsFinite() {
+			continue
+		}
+		if math.Abs(c.Solution.MeanResidual) <= limit {
+			res.Selected = append(res.Selected, c)
+			sum = sum.Add(c.Solution.Position)
+		}
+	}
+	res.Position = sum.Scale(1 / float64(len(res.Selected)))
+	return res, nil
+}
+
+// SelectByAbsResidual ranks candidates by their mean *absolute* residual and
+// averages the best band. The signed-mean rule of SelectByResidual detects
+// systematic bias; this variant detects bursty corruption (multipath fades),
+// where the offending samples inflate the residual magnitude but cancel in
+// the signed mean.
+func SelectByAbsResidual(cands []Candidate) (*AdaptiveResult, error) {
+	best := math.Inf(1)
+	for _, c := range cands {
+		if c.Err != nil || c.Solution == nil || !c.Solution.Position.IsFinite() {
+			continue
+		}
+		if r := c.Solution.MeanAbsResidual; r < best {
+			best = r
+		}
+	}
+	if math.IsInf(best, 1) {
+		return nil, ErrNoCandidates
+	}
+	limit := best*selectionSlack + 1e-12
+	res := &AdaptiveResult{All: cands}
+	var sum geom.Vec3
+	for _, c := range cands {
+		if c.Err != nil || c.Solution == nil || !c.Solution.Position.IsFinite() {
+			continue
+		}
+		if c.Solution.MeanAbsResidual <= limit {
+			res.Selected = append(res.Selected, c)
+			sum = sum.Add(c.Solution.Position)
+		}
+	}
+	res.Position = sum.Scale(1 / float64(len(res.Selected)))
+	return res, nil
+}
+
+// AdaptiveLocateThreeLine sweeps the scanning range and interval over the
+// given values, runs the structured three-line localization for each
+// combination, and fuses the estimates with SelectByResidual. base provides
+// the grid step and solve options shared by all combinations.
+func AdaptiveLocateThreeLine(in ThreeLineInput, ranges, intervals []float64, base StructuredOptions) (*AdaptiveResult, error) {
+	if len(ranges) == 0 || len(intervals) == 0 {
+		return nil, ErrNoCandidates
+	}
+	cands := make([]Candidate, 0, len(ranges)*len(intervals))
+	for _, rg := range ranges {
+		for _, iv := range intervals {
+			opts := base
+			opts.ScanRange = rg
+			opts.Interval = iv
+			sol, err := LocateThreeLine(in, opts)
+			cands = append(cands, Candidate{
+				ScanRange: rg,
+				Interval:  iv,
+				Solution:  sol,
+				Err:       err,
+			})
+		}
+	}
+	return SelectByResidual(cands)
+}
+
+// AdaptiveLocateTwoLine is the two-line analogue of AdaptiveLocateThreeLine.
+func AdaptiveLocateTwoLine(in TwoLineInput, abovePlane bool, ranges, intervals []float64, base StructuredOptions) (*AdaptiveResult, error) {
+	if len(ranges) == 0 || len(intervals) == 0 {
+		return nil, ErrNoCandidates
+	}
+	cands := make([]Candidate, 0, len(ranges)*len(intervals))
+	for _, rg := range ranges {
+		for _, iv := range intervals {
+			opts := base
+			opts.ScanRange = rg
+			opts.Interval = iv
+			sol, err := LocateTwoLine(in, abovePlane, opts)
+			cands = append(cands, Candidate{
+				ScanRange: rg,
+				Interval:  iv,
+				Solution:  sol,
+				Err:       err,
+			})
+		}
+	}
+	return SelectByResidual(cands)
+}
+
+// AdaptiveLocate2DLine sweeps the pairing interval for the single-line 2-D
+// case and fuses the estimates with SelectByResidual.
+func AdaptiveLocate2DLine(obs []PosPhase, lambda float64, intervals []float64, positiveSide bool, opts SolveOptions) (*AdaptiveResult, error) {
+	if len(intervals) == 0 {
+		return nil, ErrNoCandidates
+	}
+	cands := make([]Candidate, 0, len(intervals))
+	for _, iv := range intervals {
+		sol, err := Locate2DLine(obs, lambda, iv, positiveSide, opts)
+		cands = append(cands, Candidate{Interval: iv, Solution: sol, Err: err})
+	}
+	return SelectByResidual(cands)
+}

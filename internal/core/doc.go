@@ -1,0 +1,19 @@
+// Package core implements LION, the linear localization model of the paper:
+//
+//   - radical-line (2-D, Eq. 7) and radical-plane (3-D, Eq. 9) equation
+//     builders that turn pairs of phase measurements into linear constraints
+//     on the target position and the reference distance d_r;
+//   - the structured three-line coefficient matrix of Eqs. 10–12;
+//   - ordinary and iteratively re-weighted least-squares solvers
+//     (Eqs. 13–16) with residual-based Gaussian weights;
+//   - lower-dimension recovery of the missing coordinate through d_r
+//     (Sec. III-C);
+//   - the adaptive scanning-range / interval selection scheme
+//     (Sec. IV-C-1); and
+//   - phase-center and phase-offset calibration (Sec. IV-C, Eq. 17).
+//
+// The package is deliberately free of simulation concerns: it consumes
+// (position, unwrapped phase) pairs and produces position estimates with
+// residual diagnostics. Preprocessing raw wrapped phases into continuous
+// profiles is provided by Preprocess, which wraps package dsp.
+package core

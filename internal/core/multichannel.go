@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/rfid-lion/lion/internal/mat"
+)
+
+// Multi-channel localization. Readers outside the paper's fixed-frequency
+// China band hop among channels (FCC: 50 channels, 200 ms dwell), and each
+// hop re-locks the PLL with a fresh unknown phase offset, so one continuous
+// unwrapped profile cannot span a hop. The radical-line model extends
+// naturally: keep one reference distance unknown *per channel* and pair
+// measurements only within their channel,
+//
+//	α·x + β·y [+ γ·z] + ω_c·d_r,c = κ      (pair from channel c)
+//
+// All channels share the target coordinates, so every channel's data
+// sharpens the estimate even though their phase references are unrelated.
+
+// ChannelObservations is one channel's measurement set: the channel's
+// wavelength plus observations whose phases form a continuous unwrapped
+// profile within the channel.
+type ChannelObservations struct {
+	Lambda float64
+	Obs    []PosPhase
+}
+
+// BuildMultiChannelSystem stacks per-channel radical-line equations with one
+// reference-distance column per channel. pairs[c] indexes into channels[c].
+func BuildMultiChannelSystem(channels []ChannelObservations, pairs [][]Pair, dim int) (*System, []*Profile, error) {
+	if dim != 2 && dim != 3 {
+		return nil, nil, fmt.Errorf("core: dimension %d not supported", dim)
+	}
+	if len(channels) == 0 || len(pairs) != len(channels) {
+		return nil, nil, fmt.Errorf("core: %d channels with %d pair sets: %w",
+			len(channels), len(pairs), ErrTooFewObservations)
+	}
+	profiles := make([]*Profile, len(channels))
+	totalRows := 0
+	for c, ch := range channels {
+		p, err := NewProfile(ch.Obs, ch.Lambda)
+		if err != nil {
+			return nil, nil, fmt.Errorf("channel %d: %w", c, err)
+		}
+		profiles[c] = p
+		totalRows += len(pairs[c])
+	}
+	nCols := dim + len(channels)
+	if totalRows < nCols {
+		return nil, nil, fmt.Errorf("core: %d equations for %d unknowns: %w",
+			totalRows, nCols, ErrTooFewObservations)
+	}
+	a := mat.NewDense(totalRows, nCols)
+	k := make([]float64, totalRows)
+	row := 0
+	for c, p := range profiles {
+		for _, pr := range pairs[c] {
+			if pr.I < 0 || pr.I >= p.Len() || pr.J < 0 || pr.J >= p.Len() || pr.I == pr.J {
+				return nil, nil, fmt.Errorf("core: channel %d invalid pair (%d,%d)",
+					c, pr.I, pr.J)
+			}
+			if dim == 2 {
+				r, rhs := p.equation2D(pr)
+				a.Set(row, 0, r[0])
+				a.Set(row, 1, r[1])
+				a.Set(row, dim+c, r[2])
+				k[row] = rhs
+			} else {
+				r, rhs := p.equation3D(pr)
+				a.Set(row, 0, r[0])
+				a.Set(row, 1, r[1])
+				a.Set(row, 2, r[2])
+				a.Set(row, dim+c, r[3])
+				k[row] = rhs
+			}
+			row++
+		}
+	}
+	return &System{A: a, K: k, Dim: dim, NumRefs: len(channels)}, profiles, nil
+}
+
+// Locate2DMultiChannel estimates a planar target from channel-hopped scans:
+// each channel contributes its own continuous profile and reference
+// distance, while the coordinates are shared. stride is the within-channel
+// pairing stride (as in StridePairs).
+func Locate2DMultiChannel(channels []ChannelObservations, stride int, opts SolveOptions) (*Solution, error) {
+	pairs := make([][]Pair, len(channels))
+	for c, ch := range channels {
+		pairs[c] = StridePairs(len(ch.Obs), stride)
+	}
+	sys, profiles, err := BuildMultiChannelSystem(channels, pairs, 2)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := SolveSystem(sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	sol.Position.Z = profiles[0].RefPos().Z
+	return sol, nil
+}
+
+// Locate3DMultiChannel is the spatial analogue of Locate2DMultiChannel.
+func Locate3DMultiChannel(channels []ChannelObservations, stride int, opts SolveOptions) (*Solution, error) {
+	pairs := make([][]Pair, len(channels))
+	for c, ch := range channels {
+		pairs[c] = StridePairs(len(ch.Obs), stride)
+	}
+	sys, _, err := BuildMultiChannelSystem(channels, pairs, 3)
+	if err != nil {
+		return nil, err
+	}
+	return SolveSystem(sys, opts)
+}
+
+// SplitChannels groups samples by a channel label into per-channel
+// observation sets, preserving order. labels[i] tags obs[i]; lambdas maps a
+// label to its wavelength.
+func SplitChannels(obs []PosPhase, labels []int, lambdas map[int]float64) ([]ChannelObservations, error) {
+	if len(obs) != len(labels) {
+		return nil, fmt.Errorf("core: %d observations with %d labels: %w",
+			len(obs), len(labels), ErrTooFewObservations)
+	}
+	index := map[int]int{}
+	var out []ChannelObservations
+	for i, o := range obs {
+		label := labels[i]
+		ci, ok := index[label]
+		if !ok {
+			lambda, ok := lambdas[label]
+			if !ok {
+				return nil, fmt.Errorf("core: no wavelength for channel %d", label)
+			}
+			ci = len(out)
+			index[label] = ci
+			out = append(out, ChannelObservations{Lambda: lambda})
+		}
+		out[ci].Obs = append(out[ci].Obs, o)
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/rf"
+	"github.com/rfid-lion/lion/internal/stats"
+)
+
+// hopLambdas are three FCC-style channels around 915 MHz.
+var hopLambdas = []float64{
+	rf.SpeedOfLight / 902.75e6,
+	rf.SpeedOfLight / 915.25e6,
+	rf.SpeedOfLight / 927.25e6,
+}
+
+// genHoppedChannels synthesises a circular scan split across hop channels,
+// each with its own stable random offset.
+func genHoppedChannels(ant geom.Vec3, n int, noiseStd float64, rng *stats.RNG) []ChannelObservations {
+	offsets := []float64{rng.Angle(), rng.Angle(), rng.Angle()}
+	chans := make([]ChannelObservations, len(hopLambdas))
+	for c := range chans {
+		chans[c].Lambda = hopLambdas[c]
+	}
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		p := geom.V3(0.3*math.Cos(a), 0.3*math.Sin(a), 0)
+		c := (i / 10) % len(hopLambdas) // hop every 10 reads
+		theta := rf.PhaseOfDistance(ant.Dist(p), hopLambdas[c]) + offsets[c]
+		if noiseStd > 0 {
+			theta += rng.Normal(0, noiseStd)
+		}
+		chans[c].Obs = append(chans[c].Obs, PosPhase{Pos: p, Theta: theta})
+	}
+	return chans
+}
+
+func TestLocate2DMultiChannelNoiseless(t *testing.T) {
+	rng := stats.NewRNG(3)
+	ant := geom.V3(0.9, 0.3, 0)
+	chans := genHoppedChannels(ant, 240, 0, rng)
+	sol, err := Locate2DMultiChannel(chans, 20, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.Position.Dist(ant); got > 1e-6 {
+		t.Errorf("error %v m (got %v)", got, sol.Position)
+	}
+	if len(sol.RefDistances) != 3 {
+		t.Fatalf("RefDistances = %d, want 3", len(sol.RefDistances))
+	}
+	// Each channel's reference distance must equal the distance from the
+	// antenna to that channel's reference position, shifted by the
+	// channel's offset converted to distance. The *coordinates* absorb
+	// nothing; each d_r,c absorbs its channel's offset exactly.
+	for c, dr := range sol.RefDistances {
+		if math.IsNaN(dr) || dr <= 0 {
+			t.Errorf("channel %d d_r = %v", c, dr)
+		}
+	}
+}
+
+func TestLocate2DMultiChannelNoisy(t *testing.T) {
+	rng := stats.NewRNG(5)
+	ant := geom.V3(1, 0, 0)
+	var sum float64
+	const trials = 15
+	for i := 0; i < trials; i++ {
+		chans := genHoppedChannels(ant, 360, 0.1, rng)
+		sol, err := Locate2DMultiChannel(chans, 30, DefaultSolveOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += sol.Position.Dist(ant)
+	}
+	if avg := sum / trials; avg > 0.04 {
+		t.Errorf("average hopped error %v m", avg)
+	}
+}
+
+func TestNaiveSingleProfileFailsUnderHopping(t *testing.T) {
+	// Treating hopped phases as one continuous profile (ignoring the
+	// per-channel offsets) must do clearly worse than the multi-channel
+	// solve — the motivation for the extension.
+	rng := stats.NewRNG(7)
+	ant := geom.V3(0.9, 0.3, 0)
+	var naive, multi float64
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		chans := genHoppedChannels(ant, 240, 0.02, rng)
+		// Naive: concatenate everything, pretend one wavelength.
+		var all []PosPhase
+		for _, ch := range chans {
+			all = append(all, ch.Obs...)
+		}
+		sol, err := Locate2D(all, hopLambdas[1], StridePairs(len(all), 20),
+			DefaultSolveOptions())
+		if err == nil {
+			naive += sol.Position.Dist(ant)
+		} else {
+			naive += 1 // count a failed solve as a 1 m error
+		}
+		msol, err := Locate2DMultiChannel(chans, 20, DefaultSolveOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi += msol.Position.Dist(ant)
+	}
+	if multi >= naive {
+		t.Errorf("multi-channel (%v) not better than naive (%v)",
+			multi/trials, naive/trials)
+	}
+	if avg := multi / trials; avg > 0.02 {
+		t.Errorf("multi-channel error %v m", avg)
+	}
+}
+
+func TestLocate3DMultiChannel(t *testing.T) {
+	rng := stats.NewRNG(11)
+	ant := geom.V3(0.2, 0.9, 0.3)
+	offsets := []float64{rng.Angle(), rng.Angle(), rng.Angle()}
+	chans := make([]ChannelObservations, 3)
+	for c := range chans {
+		chans[c].Lambda = hopLambdas[c]
+	}
+	// Helix for 3-D diversity.
+	n := 300
+	for i := 0; i < n; i++ {
+		a := 4 * math.Pi * float64(i) / float64(n)
+		p := geom.V3(0.3*math.Cos(a), 0.3*math.Sin(a), 0.25*float64(i)/float64(n))
+		c := (i / 10) % 3
+		chans[c].Obs = append(chans[c].Obs, PosPhase{
+			Pos:   p,
+			Theta: rf.PhaseOfDistance(ant.Dist(p), hopLambdas[c]) + offsets[c],
+		})
+	}
+	sol, err := Locate3DMultiChannel(chans, 25, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.Position.Dist(ant); got > 1e-5 {
+		t.Errorf("3-D hopped error %v m", got)
+	}
+}
+
+func TestBuildMultiChannelSystemValidation(t *testing.T) {
+	good := genHoppedChannels(geom.V3(1, 0, 0), 120, 0, stats.NewRNG(1))
+	if _, _, err := BuildMultiChannelSystem(nil, nil, 2); err == nil {
+		t.Error("empty channels accepted")
+	}
+	if _, _, err := BuildMultiChannelSystem(good, make([][]Pair, 1), 2); err == nil {
+		t.Error("mismatched pair sets accepted")
+	}
+	if _, _, err := BuildMultiChannelSystem(good, make([][]Pair, 3), 4); err == nil {
+		t.Error("dim 4 accepted")
+	}
+	pairs := [][]Pair{{{0, 1}}, {}, {}}
+	if _, _, err := BuildMultiChannelSystem(good, pairs, 2); err == nil {
+		t.Error("underdetermined system accepted")
+	}
+	bad := [][]Pair{{{0, 999}}, {{0, 1}, {1, 2}, {2, 3}}, {{0, 1}, {1, 2}}}
+	if _, _, err := BuildMultiChannelSystem(good, bad, 2); err == nil {
+		t.Error("out-of-range pair accepted")
+	}
+}
+
+func TestSplitChannels(t *testing.T) {
+	obs := []PosPhase{{Theta: 1}, {Theta: 2}, {Theta: 3}, {Theta: 4}}
+	labels := []int{7, 9, 7, 9}
+	lambdas := map[int]float64{7: 0.32, 9: 0.33}
+	chans, err := SplitChannels(obs, labels, lambdas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chans) != 2 {
+		t.Fatalf("channels = %d", len(chans))
+	}
+	if chans[0].Lambda != 0.32 || len(chans[0].Obs) != 2 {
+		t.Errorf("channel 0 = %+v", chans[0])
+	}
+	if chans[1].Obs[1].Theta != 4 {
+		t.Errorf("channel 1 order broken: %+v", chans[1])
+	}
+	if _, err := SplitChannels(obs, labels[:2], lambdas); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := SplitChannels(obs, labels, map[int]float64{7: 0.32}); err == nil {
+		t.Error("missing wavelength accepted")
+	}
+}

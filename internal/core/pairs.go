@@ -1,0 +1,85 @@
+package core
+
+import (
+	"github.com/rfid-lion/lion/internal/geom"
+)
+
+// Pair indexes two observations whose radical line / plane contributes one
+// linear equation. The principle of pair selection is to guarantee
+// displacement diversity along the axes of interest (Sec. IV-B-1).
+type Pair struct {
+	I, J int
+}
+
+// StridePairs pairs each observation i with observation i+stride. This is
+// the generic strategy for arbitrary trajectories: on a circle a stride of a
+// quarter revolution yields well-conditioned crossings.
+func StridePairs(n, stride int) []Pair {
+	if stride <= 0 || n <= stride {
+		return nil
+	}
+	out := make([]Pair, 0, n-stride)
+	for i := 0; i+stride < n; i++ {
+		out = append(out, Pair{I: i, J: i + stride})
+	}
+	return out
+}
+
+// SeparationPairs pairs each observation with the first later observation at
+// least sep metres away. Larger separations produce larger phase differences
+// and therefore equations less sensitive to noise (the paper's scanning
+// interval x_o plays this role in Fig. 18).
+func SeparationPairs(pos []geom.Vec3, sep float64) []Pair {
+	if sep <= 0 {
+		return nil
+	}
+	out := make([]Pair, 0, len(pos))
+	j := 0
+	for i := range pos {
+		if j <= i {
+			j = i + 1
+		}
+		for j < len(pos) && pos[i].Dist(pos[j]) < sep {
+			j++
+		}
+		if j >= len(pos) {
+			break
+		}
+		out = append(out, Pair{I: i, J: j})
+	}
+	return out
+}
+
+// SubsampledAllPairs returns up to maxPairs pairs drawn evenly from the set
+// of all (i, j) combinations with i < j. It gives maximal geometric
+// diversity for small observation sets (e.g. gridded circle scans) while
+// bounding the system size.
+func SubsampledAllPairs(n, maxPairs int) []Pair {
+	if n < 2 || maxPairs <= 0 {
+		return nil
+	}
+	total := n * (n - 1) / 2
+	if total <= maxPairs {
+		out := make([]Pair, 0, total)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				out = append(out, Pair{I: i, J: j})
+			}
+		}
+		return out
+	}
+	out := make([]Pair, 0, maxPairs)
+	stride := float64(total) / float64(maxPairs)
+	next := 0.0
+	idx := 0
+	for i := 0; i < n && len(out) < maxPairs; i++ {
+		for j := i + 1; j < n && len(out) < maxPairs; j++ {
+			if float64(idx) >= next {
+				out = append(out, Pair{I: i, J: j})
+				next += stride
+			}
+			idx++
+		}
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/rf"
+	"github.com/rfid-lion/lion/internal/stats"
+)
+
+// solveLinearX builds and solves the lower-dimension 2-D system for a target
+// above an x-axis trajectory, returning solution and profile.
+func solveLinearX(t *testing.T, obs []PosPhase) (*Solution, *Profile) {
+	t.Helper()
+	p, err := NewProfile(obs, testLambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	positions := make([]geom.Vec3, len(obs))
+	for i, o := range obs {
+		positions[i] = o.Pos
+	}
+	var pairs []Pair
+	for _, sep := range []float64{0.2, 0.4} {
+		pairs = append(pairs, SeparationPairs(positions, sep)...)
+	}
+	sys, err := BuildSystem(p, pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveSystem(sys, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol, p
+}
+
+func TestRecoverMissingMedianMatchesReferenceWhenClean(t *testing.T) {
+	ant := geom.V3(0.1, 0.9, 0)
+	positions := linePositions(geom.V3(-0.5, 0, 0), geom.V3(0.5, 0, 0), 120)
+	obs := genObs(ant, positions, 0, 0, nil)
+
+	solRef, p := solveLinearX(t, obs)
+	solMed, _ := solveLinearX(t, obs)
+	if err := solRef.RecoverMissing(p.RefPos(), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := solMed.RecoverMissingMedian(p, true); err != nil {
+		t.Fatal(err)
+	}
+	if d := solRef.Position.Dist(solMed.Position); d > 1e-6 {
+		t.Errorf("clean-data recoveries disagree by %v m", d)
+	}
+	if d := solMed.Position.Dist(ant); d > 1e-6 {
+		t.Errorf("median recovery error %v m", d)
+	}
+}
+
+func TestRecoverMissingMedianSurvivesCorruptedReference(t *testing.T) {
+	// Bias a chunk of samples covering the reference (middle index). The
+	// reference-only rule inherits the bias through d_r; the median rule
+	// cancels it.
+	ant := geom.V3(0.1, 0.9, 0)
+	positions := linePositions(geom.V3(-0.5, 0, 0), geom.V3(0.5, 0, 0), 200)
+	obs := genObs(ant, positions, 0.02, 0, stats.NewRNG(4))
+	for i := 90; i < 110; i++ { // the reference (index 100) sits inside
+		obs[i].Theta += 1.2
+	}
+	solRef, p := solveLinearX(t, obs)
+	solMed, _ := solveLinearX(t, obs)
+	if err := solRef.RecoverMissing(p.RefPos(), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := solMed.RecoverMissingMedian(p, true); err != nil {
+		t.Fatal(err)
+	}
+	refErr := solRef.Position.Dist(ant)
+	medErr := solMed.Position.Dist(ant)
+	if medErr >= refErr {
+		t.Errorf("median (%v) did not beat reference-only (%v) under corrupted reference",
+			medErr, refErr)
+	}
+	if medErr > 0.02 {
+		t.Errorf("median recovery error %v m", medErr)
+	}
+}
+
+func TestRecoverMissingMedianUnbiasedNearZero(t *testing.T) {
+	// Target almost in the trajectory plane: discriminants hover around
+	// zero, and discarding negative ones would bias the estimate upward.
+	rng := stats.NewRNG(8)
+	ant := geom.V3(0, 0.8, 0.015)
+	var sum float64
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		in := genTwoLine(ant, -0.5, 0.5, 0.2, 200, 0.05, rng)
+		opts := DefaultStructuredOptions()
+		opts.Intervals = []float64{0.2, 0.4, 0.7}
+		sol, err := LocateTwoLine(in, true, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += absf(sol.Position.Z - ant.Z)
+	}
+	if avg := sum / trials; avg > 0.025 {
+		t.Errorf("near-zero z recovery biased: mean |z err| = %v m", avg)
+	}
+}
+
+func absf(v float64) float64 { return math.Abs(v) }
+
+func TestRecoverMissingMedianNoSolution(t *testing.T) {
+	sol := &Solution{
+		Position:    geom.V3(0.5, math.NaN(), 0),
+		Known:       [3]bool{true, false, false},
+		Dim:         2,
+		RefDistance: 0.1, // far smaller than the ~0.5 m offsets
+	}
+	obs := genObs(geom.V3(0.5, 1, 0),
+		linePositions(geom.V3(-0.5, 0, 0), geom.V3(0.5, 0, 0), 20), 0, 0, nil)
+	p, err := NewProfile(obs, testLambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.RecoverMissingMedian(p, true); !errors.Is(err, ErrNoSolution) {
+		t.Errorf("err = %v, want ErrNoSolution", err)
+	}
+}
+
+func TestLocate2DLineIntervalsValidation(t *testing.T) {
+	obs := genObs(geom.V3(0, 1, 0),
+		linePositions(geom.V3(-0.5, 0, 0), geom.V3(0.5, 0, 0), 50), 0, 0, nil)
+	if _, err := Locate2DLineIntervals(obs, testLambda, nil, true, SolveOptions{}); err == nil {
+		t.Error("empty intervals accepted")
+	}
+	if _, err := Locate2DLineIntervals(obs, testLambda, []float64{0.2, -1}, true, SolveOptions{}); err == nil {
+		t.Error("negative interval accepted")
+	}
+}
+
+func TestLocate2DLineIntervalsImprovesDepthConditioning(t *testing.T) {
+	// At a large depth, adding long pairing intervals should reduce the
+	// depth (y) error relative to the single short interval.
+	rng := stats.NewRNG(13)
+	ant := geom.V3(0, 1.6, 0)
+	var single, multi float64
+	const trials = 15
+	for i := 0; i < trials; i++ {
+		positions := linePositions(geom.V3(-1.2, 0, 0), geom.V3(1.2, 0, 0), 480)
+		obs := genObs(ant, positions, 0.08, 0, rng)
+		s1, err := Locate2DLine(obs, testLambda, 0.2, true, DefaultSolveOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Locate2DLineIntervals(obs, testLambda,
+			[]float64{0.2, 0.5, 1.0, 1.5}, true, DefaultSolveOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		single += absf(s1.Position.Y - ant.Y)
+		multi += absf(s2.Position.Y - ant.Y)
+	}
+	if multi >= single {
+		t.Errorf("multi-interval y err (%v) not below single-interval (%v)",
+			multi/trials, single/trials)
+	}
+}
+
+func TestStructuredOptionsIntervals(t *testing.T) {
+	o := StructuredOptions{Interval: 0.2}
+	if got := o.intervals(); len(got) != 1 || got[0] != 0.2 {
+		t.Errorf("intervals = %v", got)
+	}
+	o.Intervals = []float64{0.3, 0.1}
+	if got := o.smallestInterval(); got != 0.1 {
+		t.Errorf("smallestInterval = %v", got)
+	}
+	pairs := o.xPairs(10, 0.1, 5)
+	for _, pr := range pairs {
+		if pr.I < 5 || pr.J < 5 {
+			t.Fatalf("pair %v ignored base offset", pr)
+		}
+	}
+	if len(pairs) == 0 {
+		t.Fatal("no pairs generated")
+	}
+}
+
+func TestSelectByAbsResidualPrefersCleanCandidate(t *testing.T) {
+	mk := func(pos geom.Vec3, mar float64) Candidate {
+		return Candidate{Solution: &Solution{Position: pos, MeanAbsResidual: mar}}
+	}
+	cands := []Candidate{
+		mk(geom.V3(1, 0, 0), 0.001),
+		mk(geom.V3(1.02, 0, 0), 0.0011),
+		mk(geom.V3(9, 9, 9), 0.08), // polluted candidate
+		{Err: errors.New("x")},
+	}
+	res, err := SelectByAbsResidual(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 2 {
+		t.Fatalf("selected %d, want 2", len(res.Selected))
+	}
+	if res.Position.Dist(geom.V3(1.01, 0, 0)) > 1e-9 {
+		t.Errorf("position = %v", res.Position)
+	}
+	if _, err := SelectByAbsResidual(nil); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestThreeLineMultiIntervals(t *testing.T) {
+	ant := geom.V3(0.05, 0.8, 0.1)
+	in := genThreeLine(ant, -0.6, 0.6, 0.2, 0.2, 240, 0, nil)
+	opts := DefaultStructuredOptions()
+	opts.Intervals = []float64{0.15, 0.3, 0.6}
+	sol, err := LocateThreeLine(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.Position.Dist(ant); got > 1e-4 {
+		t.Errorf("error %v m", got)
+	}
+}
+
+// Property-style check: the median recovery agrees with the truth over many
+// random geometries.
+func TestRecoverMissingMedianPropertyRandomGeometry(t *testing.T) {
+	rng := stats.NewRNG(21)
+	for trial := 0; trial < 25; trial++ {
+		ant := geom.V3(rng.Uniform(-0.3, 0.3), rng.Uniform(0.5, 1.2), 0)
+		positions := linePositions(geom.V3(-0.6, 0, 0), geom.V3(0.6, 0, 0), 100)
+		obs := genObs(ant, positions, 0, 0, nil)
+		sol, p := solveLinearX(t, obs)
+		if err := sol.RecoverMissingMedian(p, true); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if d := sol.Position.Dist(ant); d > 1e-5 {
+			t.Fatalf("trial %d: error %v for antenna %v", trial, d, ant)
+		}
+	}
+}
+
+func TestWrapOffsetInvarianceOfCoordinates(t *testing.T) {
+	// A constant phase offset on every sample (device offset) must not
+	// change the coordinate estimate at all — only d_r absorbs it.
+	ant := geom.V3(0.2, 0.9, 0)
+	positions := circlePositions(geom.V3(0, 0, 0), 0.3, 90)
+	clean := genObs(ant, positions, 0, 0, nil)
+	shifted := genObs(ant, positions, 0, 2.13, nil)
+	pairs := StridePairs(len(clean), 22)
+	s1, err := Locate2D(clean, testLambda, pairs, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Locate2D(shifted, testLambda, pairs, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s1.Position.Dist(s2.Position); d > 1e-9 {
+		t.Errorf("constant offset moved the estimate by %v m", d)
+	}
+}
+
+func TestReferenceBiasAbsorbedByRefDistance(t *testing.T) {
+	// Corrupting only the reference sample's phase must leave the
+	// coordinates untouched (the bias folds into d_r exactly).
+	ant := geom.V3(0.2, 0.9, 0)
+	positions := circlePositions(geom.V3(0, 0, 0), 0.3, 91)
+	obs := genObs(ant, positions, 0, 0, nil)
+	ref := len(obs) / 2
+	biased := make([]PosPhase, len(obs))
+	copy(biased, obs)
+	biased[ref].Theta += 0.8
+
+	pairs := StridePairs(len(obs), 22)
+	// Exclude pairs touching the reference so its bias enters only via Δd.
+	filtered := pairs[:0:0]
+	for _, pr := range pairs {
+		if pr.I != ref && pr.J != ref {
+			filtered = append(filtered, pr)
+		}
+	}
+	s1, err := Locate2D(obs, testLambda, filtered, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Locate2D(biased, testLambda, filtered, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s1.Position.Dist(s2.Position); d > 1e-9 {
+		t.Errorf("reference bias moved coordinates by %v m", d)
+	}
+	wantShift := rf.DistanceOfPhaseDelta(0.8, testLambda)
+	if got := s2.RefDistance - s1.RefDistance; absf(got-wantShift) > 1e-9 {
+		t.Errorf("d_r shift = %v, want %v", got, wantShift)
+	}
+}

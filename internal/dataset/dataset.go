@@ -1,0 +1,100 @@
+// Package dataset reads and writes scan datasets as CSV, the interchange
+// format between the lionsim generator, the lioncal calibration tool, and
+// any real logger (e.g. an LLRP client) a user might substitute.
+//
+// The format is one header line followed by one row per read:
+//
+//	time_s,x_m,y_m,z_m,phase_rad,rssi_dbm,segment,channel
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/sim"
+)
+
+// Header is the canonical CSV header row.
+var Header = []string{"time_s", "x_m", "y_m", "z_m", "phase_rad", "rssi_dbm", "segment", "channel"}
+
+// ErrBadHeader is returned when the CSV header does not match Header.
+var ErrBadHeader = errors.New("dataset: unexpected CSV header")
+
+// Write streams samples to w as CSV.
+func Write(w io.Writer, samples []sim.Sample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(Header); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	row := make([]string, len(Header))
+	for _, s := range samples {
+		row[0] = strconv.FormatFloat(s.Time.Seconds(), 'f', 6, 64)
+		row[1] = strconv.FormatFloat(s.TagPos.X, 'f', 6, 64)
+		row[2] = strconv.FormatFloat(s.TagPos.Y, 'f', 6, 64)
+		row[3] = strconv.FormatFloat(s.TagPos.Z, 'f', 6, 64)
+		row[4] = strconv.FormatFloat(s.Phase, 'f', 8, 64)
+		row[5] = strconv.FormatFloat(s.RSSI, 'f', 3, 64)
+		row[6] = strconv.Itoa(s.Segment)
+		row[7] = strconv.Itoa(s.Channel)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Read parses a CSV dataset from r.
+func Read(r io.Reader) ([]sim.Sample, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(Header)
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read header: %w", err)
+	}
+	for i, h := range Header {
+		if head[i] != h {
+			return nil, fmt.Errorf("column %d is %q, want %q: %w",
+				i, head[i], h, ErrBadHeader)
+		}
+	}
+	var out []sim.Sample
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read line %d: %w", line, err)
+		}
+		vals := make([]float64, 6)
+		for i := 0; i < 6; i++ {
+			v, err := strconv.ParseFloat(rec[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d column %q: %w", line, Header[i], err)
+			}
+			vals[i] = v
+		}
+		seg, err := strconv.Atoi(rec[6])
+		if err != nil {
+			return nil, fmt.Errorf("line %d column segment: %w", line, err)
+		}
+		channel, err := strconv.Atoi(rec[7])
+		if err != nil {
+			return nil, fmt.Errorf("line %d column channel: %w", line, err)
+		}
+		out = append(out, sim.Sample{
+			Time:    time.Duration(vals[0] * float64(time.Second)),
+			TagPos:  geom.V3(vals[1], vals[2], vals[3]),
+			Phase:   vals[4],
+			RSSI:    vals[5],
+			Segment: seg,
+			Channel: channel,
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/sim"
+)
+
+func TestRoundTrip(t *testing.T) {
+	in := []sim.Sample{
+		{
+			Time:    1500 * time.Millisecond,
+			TagPos:  geom.V3(0.1, -0.2, 0.3),
+			Phase:   3.14159,
+			RSSI:    -55.5,
+			Segment: 2,
+			Channel: 1,
+		},
+		{
+			Time:    1510 * time.Millisecond,
+			TagPos:  geom.V3(0.11, -0.2, 0.3),
+			Phase:   3.21,
+			RSSI:    -55.6,
+			Segment: 2,
+			Channel: 2,
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Segment != in[i].Segment {
+			t.Errorf("sample %d segment = %d", i, out[i].Segment)
+		}
+		if out[i].Channel != in[i].Channel {
+			t.Errorf("sample %d channel = %d", i, out[i].Channel)
+		}
+		if d := out[i].TagPos.Dist(in[i].TagPos); d > 1e-5 {
+			t.Errorf("sample %d position off by %v", i, d)
+		}
+		if d := out[i].Phase - in[i].Phase; d > 1e-7 || d < -1e-7 {
+			t.Errorf("sample %d phase delta %v", i, d)
+		}
+		if d := out[i].Time - in[i].Time; d > time.Microsecond || d < -time.Microsecond {
+			t.Errorf("sample %d time delta %v", i, d)
+		}
+	}
+}
+
+func TestWriteEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("read %d samples from empty dataset", len(out))
+	}
+}
+
+func TestReadRejectsBadHeader(t *testing.T) {
+	r := strings.NewReader("a,b,c,d,e,f,g,h\n1,2,3,4,5,6,7,8\n")
+	if _, err := Read(r); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("err = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestReadRejectsMalformedRows(t *testing.T) {
+	head := strings.Join(Header, ",") + "\n"
+	cases := []string{
+		head + "x,0,0,0,0,0,0,0\n",     // bad float
+		head + "0,0,0,0,0,0,x,0\n",     // bad segment
+		head + "0,0,0,0,0,0,0,x\n",     // bad channel
+		head + "0,0,0,0,0,0\n",         // short row
+		head + "0,0,0,0,0,0,0,0,0,0\n", // long row
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: malformed row accepted", i)
+		}
+	}
+}
+
+func TestReadEmptyInput(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}

@@ -1,0 +1,210 @@
+// Package dsp implements the signal-preprocessing stage of LION
+// (Sec. IV-A): phase unwrapping, moving-average smoothing, stitching of
+// phase profiles collected on separate trajectory segments, resampling, and
+// outlier rejection.
+package dsp
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Errors returned by the preprocessing functions.
+var (
+	ErrBadWindow = errors.New("dsp: window must be positive and odd")
+	ErrMismatch  = errors.New("dsp: input slices must have equal length")
+)
+
+// Unwrap removes the modulo-2π jumps from a wrapped phase sequence.
+// Whenever the jump between consecutive samples is at least π radians, it
+// adds or subtracts multiples of 2π until the jump falls below π
+// (Sec. IV-A-1). The input is not modified.
+func Unwrap(wrapped []float64) []float64 {
+	out := make([]float64, len(wrapped))
+	if len(wrapped) == 0 {
+		return out
+	}
+	out[0] = wrapped[0]
+	offset := 0.0
+	for i := 1; i < len(wrapped); i++ {
+		d := wrapped[i] - wrapped[i-1]
+		for d >= math.Pi {
+			offset -= 2 * math.Pi
+			d -= 2 * math.Pi
+		}
+		for d <= -math.Pi {
+			offset += 2 * math.Pi
+			d += 2 * math.Pi
+		}
+		out[i] = wrapped[i] + offset
+	}
+	return out
+}
+
+// Wrap maps every element of xs onto [0, 2π). The input is not modified.
+func Wrap(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		t := math.Mod(x, 2*math.Pi)
+		if t < 0 {
+			t += 2 * math.Pi
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// MovingAverage smooths xs with a centred moving-average filter of the given
+// odd window length (Sec. IV-A-2). Windows are truncated at the boundaries
+// so the output has the same length as the input. The input is not modified.
+func MovingAverage(xs []float64, window int) ([]float64, error) {
+	if window <= 0 || window%2 == 0 {
+		return nil, ErrBadWindow
+	}
+	out := make([]float64, len(xs))
+	half := window / 2
+	for i := range xs {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		var s float64
+		for j := lo; j <= hi; j++ {
+			s += xs[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out, nil
+}
+
+// StitchSegments joins phase profiles that were unwrapped independently per
+// trajectory segment. Each subsequent segment is shifted by the integer
+// multiple of 2π that minimises the jump between the last sample of the
+// previous segment and the first sample of the next (Sec. IV-B: "adjust the
+// unwrapped phase profiles to make them consecutive"). The result is one
+// concatenated profile. Empty segments are skipped.
+func StitchSegments(segments [][]float64) []float64 {
+	var out []float64
+	for _, seg := range segments {
+		if len(seg) == 0 {
+			continue
+		}
+		if len(out) == 0 {
+			out = append(out, seg...)
+			continue
+		}
+		last := out[len(out)-1]
+		jump := seg[0] - last
+		shift := -2 * math.Pi * math.Round(jump/(2*math.Pi))
+		for _, v := range seg {
+			out = append(out, v+shift)
+		}
+	}
+	return out
+}
+
+// LinearResample interpolates the series (times, values) at the query
+// instants. Times must be strictly increasing. Queries outside the range
+// clamp to the boundary values.
+func LinearResample(times, values, queries []float64) ([]float64, error) {
+	if len(times) != len(values) {
+		return nil, ErrMismatch
+	}
+	if len(times) == 0 {
+		return nil, errors.New("dsp: empty series")
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			return nil, errors.New("dsp: times must be strictly increasing")
+		}
+	}
+	out := make([]float64, len(queries))
+	for qi, q := range queries {
+		switch {
+		case q <= times[0]:
+			out[qi] = values[0]
+		case q >= times[len(times)-1]:
+			out[qi] = values[len(values)-1]
+		default:
+			i := sort.SearchFloat64s(times, q)
+			// times[i-1] < q <= times[i]
+			t0, t1 := times[i-1], times[i]
+			frac := (q - t0) / (t1 - t0)
+			out[qi] = values[i-1] + frac*(values[i]-values[i-1])
+		}
+	}
+	return out, nil
+}
+
+// HampelFilter replaces outliers with the local median. A sample is an
+// outlier when it deviates from the median of its window by more than
+// nSigma times the scaled median absolute deviation. It returns the filtered
+// series and the indices that were replaced. The input is not modified.
+func HampelFilter(xs []float64, window int, nSigma float64) ([]float64, []int, error) {
+	if window <= 0 || window%2 == 0 {
+		return nil, nil, ErrBadWindow
+	}
+	if nSigma <= 0 {
+		return nil, nil, errors.New("dsp: nSigma must be positive")
+	}
+	const madScale = 1.4826 // MAD → σ for Gaussian data
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	var replaced []int
+	half := window / 2
+	buf := make([]float64, 0, window)
+	for i := range xs {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		buf = buf[:0]
+		buf = append(buf, xs[lo:hi+1]...)
+		med := medianInPlace(buf)
+		for j := range buf {
+			buf[j] = math.Abs(buf[j] - med)
+		}
+		mad := medianInPlace(buf) * madScale
+		if mad == 0 {
+			continue
+		}
+		if math.Abs(xs[i]-med) > nSigma*mad {
+			out[i] = med
+			replaced = append(replaced, i)
+		}
+	}
+	return out, replaced, nil
+}
+
+// medianInPlace sorts buf and returns its median.
+func medianInPlace(buf []float64) float64 {
+	sort.Float64s(buf)
+	n := len(buf)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return buf[n/2]
+	}
+	return (buf[n/2-1] + buf[n/2]) / 2
+}
+
+// Diff returns the first difference of xs (length len(xs)−1).
+func Diff(xs []float64) []float64 {
+	if len(xs) < 2 {
+		return nil
+	}
+	out := make([]float64, len(xs)-1)
+	for i := 1; i < len(xs); i++ {
+		out[i-1] = xs[i] - xs[i-1]
+	}
+	return out
+}

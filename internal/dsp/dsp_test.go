@@ -1,0 +1,304 @@
+package dsp
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/rfid-lion/lion/internal/rf"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func sliceAlmostEq(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !almostEq(a[i], b[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUnwrapRecoversLinearRamp(t *testing.T) {
+	// A linear phase ramp wrapped into [0,2π) must unwrap back to a ramp
+	// (up to the initial value's branch).
+	n := 500
+	truth := make([]float64, n)
+	wrapped := make([]float64, n)
+	for i := range truth {
+		truth[i] = 0.5 + 0.11*float64(i)
+		wrapped[i] = rf.WrapPhase(truth[i])
+	}
+	un := Unwrap(wrapped)
+	for i := range un {
+		if !almostEq(un[i]-un[0], truth[i]-truth[0], 1e-9) {
+			t.Fatalf("sample %d: unwrapped delta %v, want %v",
+				i, un[i]-un[0], truth[i]-truth[0])
+		}
+	}
+}
+
+func TestUnwrapDescendingRamp(t *testing.T) {
+	n := 300
+	truth := make([]float64, n)
+	wrapped := make([]float64, n)
+	for i := range truth {
+		truth[i] = 100 - 0.2*float64(i)
+		wrapped[i] = rf.WrapPhase(truth[i])
+	}
+	un := Unwrap(wrapped)
+	for i := range un {
+		if !almostEq(un[i]-un[0], truth[i]-truth[0], 1e-9) {
+			t.Fatalf("sample %d: unwrapped delta %v, want %v",
+				i, un[i]-un[0], truth[i]-truth[0])
+		}
+	}
+}
+
+func TestUnwrapEdgeCases(t *testing.T) {
+	if got := Unwrap(nil); len(got) != 0 {
+		t.Errorf("Unwrap(nil) = %v", got)
+	}
+	if got := Unwrap([]float64{1.5}); !sliceAlmostEq(got, []float64{1.5}, 0) {
+		t.Errorf("Unwrap(single) = %v", got)
+	}
+	// Input must not be modified.
+	in := []float64{0.1, 6.2, 0.2}
+	_ = Unwrap(in)
+	if in[1] != 6.2 {
+		t.Error("Unwrap mutated input")
+	}
+}
+
+func TestUnwrapPropertyConsecutiveJumpsBelowPi(t *testing.T) {
+	f := func(raw []float64) bool {
+		in := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			in = append(in, rf.WrapPhase(x))
+		}
+		un := Unwrap(in)
+		for i := 1; i < len(un); i++ {
+			if math.Abs(un[i]-un[i-1]) >= math.Pi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnwrapPropertyWrapInverts(t *testing.T) {
+	// Wrapping the unwrapped sequence returns the original wrapped values.
+	f := func(raw []float64) bool {
+		in := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			in = append(in, rf.WrapPhase(x))
+		}
+		back := Wrap(Unwrap(in))
+		for i := range in {
+			d := math.Abs(back[i] - in[i])
+			if d > 1e-9 && math.Abs(d-2*math.Pi) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	got, err := MovingAverage(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 2, 3, 4, 4.5}
+	if !sliceAlmostEq(got, want, 1e-12) {
+		t.Errorf("MovingAverage = %v, want %v", got, want)
+	}
+	// Window 1 is the identity.
+	id, err := MovingAverage(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sliceAlmostEq(id, xs, 0) {
+		t.Errorf("window-1 = %v", id)
+	}
+}
+
+func TestMovingAverageValidation(t *testing.T) {
+	if _, err := MovingAverage([]float64{1}, 0); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("window 0 err = %v", err)
+	}
+	if _, err := MovingAverage([]float64{1}, 2); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("even window err = %v", err)
+	}
+}
+
+func TestMovingAverageReducesNoiseVariance(t *testing.T) {
+	// Smoothing white noise must shrink its variance by roughly the window
+	// size.
+	n := 5000
+	xs := make([]float64, n)
+	seed := uint64(12345)
+	for i := range xs {
+		// Cheap deterministic pseudo-noise.
+		seed = seed*6364136223846793005 + 1442695040888963407
+		xs[i] = float64(int64(seed>>11))/float64(1<<52) - 0.5
+	}
+	sm, err := MovingAverage(xs, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	varOf := func(v []float64) float64 {
+		var m float64
+		for _, x := range v {
+			m += x
+		}
+		m /= float64(len(v))
+		var s float64
+		for _, x := range v {
+			s += (x - m) * (x - m)
+		}
+		return s / float64(len(v))
+	}
+	if r := varOf(sm) / varOf(xs); r > 0.25 {
+		t.Errorf("smoothing reduced variance only by factor %v", 1/r)
+	}
+}
+
+func TestStitchSegments(t *testing.T) {
+	// Two segments of one continuous ramp, each re-based by a 2π multiple.
+	segA := []float64{0, 0.5, 1.0, 1.5}
+	segB := []float64{2.0 - 4*math.Pi, 2.5 - 4*math.Pi, 3.0 - 4*math.Pi}
+	out := StitchSegments([][]float64{segA, segB})
+	want := []float64{0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0}
+	if !sliceAlmostEq(out, want, 1e-9) {
+		t.Errorf("stitched = %v, want %v", out, want)
+	}
+}
+
+func TestStitchSegmentsEdgeCases(t *testing.T) {
+	if out := StitchSegments(nil); len(out) != 0 {
+		t.Errorf("nil segments = %v", out)
+	}
+	if out := StitchSegments([][]float64{nil, {1, 2}, nil}); !sliceAlmostEq(out, []float64{1, 2}, 0) {
+		t.Errorf("empty-segment handling = %v", out)
+	}
+	single := StitchSegments([][]float64{{3, 4}})
+	if !sliceAlmostEq(single, []float64{3, 4}, 0) {
+		t.Errorf("single segment = %v", single)
+	}
+}
+
+func TestStitchPropertyResidualJumpUnderPi(t *testing.T) {
+	f := func(aRaw, bRaw []float64, k int8) bool {
+		a := make([]float64, 0, len(aRaw))
+		for _, x := range aRaw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 100 {
+				a = append(a, x)
+			}
+		}
+		if len(a) == 0 {
+			return true
+		}
+		// Second segment continues the first within (−π, π), then is
+		// re-based by k·2π; stitching must undo the re-basing.
+		start := a[len(a)-1] + math.Mod(float64(k)*0.37, 1)
+		b := []float64{start + float64(k)*2*math.Pi}
+		out := StitchSegments([][]float64{a, b})
+		jump := out[len(out)-1] - a[len(a)-1]
+		return math.Abs(jump) < math.Pi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearResample(t *testing.T) {
+	times := []float64{0, 1, 2}
+	values := []float64{0, 10, 0}
+	got, err := LinearResample(times, values, []float64{-1, 0, 0.5, 1.5, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 5, 5, 0, 0}
+	if !sliceAlmostEq(got, want, 1e-12) {
+		t.Errorf("resample = %v, want %v", got, want)
+	}
+}
+
+func TestLinearResampleValidation(t *testing.T) {
+	if _, err := LinearResample([]float64{0, 1}, []float64{0}, nil); !errors.Is(err, ErrMismatch) {
+		t.Errorf("mismatch err = %v", err)
+	}
+	if _, err := LinearResample(nil, nil, nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := LinearResample([]float64{0, 0}, []float64{1, 2}, nil); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+}
+
+func TestHampelFilterRemovesSpike(t *testing.T) {
+	xs := []float64{1, 1.1, 0.9, 1.0, 9.0, 1.1, 0.95, 1.05, 1.0}
+	out, replaced, err := HampelFilter(xs, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replaced) != 1 || replaced[0] != 4 {
+		t.Fatalf("replaced = %v, want [4]", replaced)
+	}
+	if out[4] > 2 {
+		t.Errorf("spike survived: %v", out[4])
+	}
+	// Non-outliers untouched.
+	for i, v := range xs {
+		if i == 4 {
+			continue
+		}
+		if out[i] != v {
+			t.Errorf("sample %d modified: %v -> %v", i, v, out[i])
+		}
+	}
+}
+
+func TestHampelFilterValidation(t *testing.T) {
+	if _, _, err := HampelFilter([]float64{1}, 2, 3); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("even window err = %v", err)
+	}
+	if _, _, err := HampelFilter([]float64{1}, 3, 0); err == nil {
+		t.Error("zero nSigma accepted")
+	}
+	// Constant series: MAD 0, nothing replaced.
+	out, replaced, err := HampelFilter([]float64{2, 2, 2, 2}, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replaced) != 0 || !sliceAlmostEq(out, []float64{2, 2, 2, 2}, 0) {
+		t.Errorf("constant series altered: %v %v", out, replaced)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	if got := Diff([]float64{1, 3, 6}); !sliceAlmostEq(got, []float64{2, 3}, 0) {
+		t.Errorf("Diff = %v", got)
+	}
+	if got := Diff([]float64{1}); got != nil {
+		t.Errorf("Diff(single) = %v", got)
+	}
+}

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestExperimentsDeterministic verifies that a fixed Config reproduces
+// byte-identical results — the property EXPERIMENTS.md relies on.
+func TestExperimentsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 3, Fast: true}
+
+	a1, _, err := Fig21Turntable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := Fig21Turntable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("Fig21 row %d differs across runs: %+v vs %+v", i, a1[i], a2[i])
+		}
+	}
+
+	b1, _, err := Fig15Weights(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, err := Fig15Weights(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b1 {
+		if b1[i].MeanErr != b2[i].MeanErr || b1[i].P90Err != b2[i].P90Err {
+			t.Fatalf("Fig15 row %d differs across runs", i)
+		}
+	}
+}
+
+// TestExperimentsSeedSensitivity verifies that changing the seed actually
+// changes the noise realisation (no accidental fixed seeding inside).
+func TestExperimentsSeedSensitivity(t *testing.T) {
+	r1, _, err := Fig21Turntable(Config{Seed: 3, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := Fig21Turntable(Config{Seed: 4, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range r1 {
+		if r1[i].DistErr != r2[i].DistErr {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical results")
+	}
+}

@@ -1,0 +1,175 @@
+package experiment
+
+import (
+	"math"
+	"os"
+	"testing"
+)
+
+var fastCfg = Config{Seed: 7, Fast: true}
+
+func TestFig2PhaseCenter(t *testing.T) {
+	results, tbl, err := Fig2PhaseCenter(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		// The valley must land near the true offset (2–3 cm from the
+		// physical center), definitely not at the origin.
+		if math.Abs(r.ValleyOffset-r.TrueOffset) > 0.015 {
+			t.Errorf("%s: valley %v vs true %v", r.Axis, r.ValleyOffset, r.TrueOffset)
+		}
+	}
+	if err := tbl.Render(os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig3PhaseOffsets(t *testing.T) {
+	results, _, err := Fig3PhaseOffsets(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 16 {
+		t.Fatalf("results = %d, want 16 pairs", len(results))
+	}
+	// Each pair is tight...
+	for _, r := range results {
+		if r.StdPhase > 0.3 {
+			t.Errorf("pair %s/%s std = %v", r.Antenna, r.Tag, r.StdPhase)
+		}
+	}
+	// ...but pairs differ: the spread of means must dwarf the within-pair std.
+	var means []float64
+	for _, r := range results {
+		means = append(means, r.MeanPhase)
+	}
+	var spread float64
+	for _, m := range means {
+		for _, m2 := range means {
+			if d := math.Abs(m - m2); d > spread {
+				spread = d
+			}
+		}
+	}
+	if spread < 0.5 {
+		t.Errorf("mean-phase spread = %v, want device-dependent offsets", spread)
+	}
+}
+
+func TestFig4Hologram(t *testing.T) {
+	results, _, err := Fig4Hologram(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	plain, weighted := results[0], results[1]
+	if plain.Weighted || !weighted.Weighted {
+		t.Fatal("result order wrong")
+	}
+	// Two measurements leave a hyperbola-shaped ridge: many cells near the
+	// peak.
+	if plain.HighLikelihoodCells < 10 {
+		t.Errorf("ridge cells = %d, expected a hyperbola ridge", plain.HighLikelihoodCells)
+	}
+	// The ridge must pass close to the true antenna position.
+	if plain.RidgeDistance > 0.05 {
+		t.Errorf("ridge misses the antenna by %v m", plain.RidgeDistance)
+	}
+	// Weighting must not expand the ridge.
+	if weighted.HighLikelihoodCells > plain.HighLikelihoodCells {
+		t.Errorf("weights grew the ridge: %d > %d",
+			weighted.HighLikelihoodCells, plain.HighLikelihoodCells)
+	}
+}
+
+func TestFig6Directions(t *testing.T) {
+	rows, _, err := Fig6Directions(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.DistErr > 0.08 {
+			t.Errorf("%s/%s dist err = %v m", r.Direction, r.Method, r.DistErr)
+		}
+	}
+	// Axis-error rotation: at 0° (antenna on +x) the error concentrates on
+	// x; at 90° on y.
+	var lion0, lion90 Fig6Row
+	for _, r := range rows {
+		if r.Method != "LION" {
+			continue
+		}
+		switch r.Direction {
+		case "0 deg":
+			lion0 = r
+		case "90 deg":
+			lion90 = r
+		}
+	}
+	if lion0.XErr < lion0.YErr {
+		t.Errorf("0 deg: x err %v should dominate y err %v", lion0.XErr, lion0.YErr)
+	}
+	if lion90.YErr < lion90.XErr {
+		t.Errorf("90 deg: y err %v should dominate x err %v", lion90.YErr, lion90.XErr)
+	}
+}
+
+func TestFig9LowerDim(t *testing.T) {
+	rows, _, err := Fig9LowerDim(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanErr > 0.06 {
+			t.Errorf("%s mean err = %v m", r.Method, r.MeanErr)
+		}
+	}
+}
+
+func TestFig13Overall(t *testing.T) {
+	rows, tbl, err := Fig13Overall(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(c, m string) Fig13Row {
+		for _, r := range rows {
+			if r.Case == c && r.Method == m {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", c, m)
+		return Fig13Row{}
+	}
+	// Calibration must improve accuracy substantially in both dimensions.
+	if plus, minus := get("2D+", "LION"), get("2D-", "LION"); minus.MeanErr < 1.5*plus.MeanErr {
+		t.Errorf("2D calibration gain too small: %v vs %v", minus.MeanErr, plus.MeanErr)
+	}
+	if plus, minus := get("3D+", "LION"), get("3D-", "LION"); minus.MeanErr <= plus.MeanErr {
+		t.Errorf("3D calibration did not help: %v vs %v", minus.MeanErr, plus.MeanErr)
+	}
+	// LION must be far cheaper than DAH.
+	if lion, dah := get("2D+", "LION"), get("2D+", "DAH"); lion.MeanTime >= dah.MeanTime {
+		t.Errorf("LION 2D time %v not below DAH %v", lion.MeanTime, dah.MeanTime)
+	}
+	if lion, dah := get("3D+", "LION"), get("3D+", "DAH"); lion.MeanTime >= dah.MeanTime {
+		t.Errorf("LION 3D time %v not below DAH %v", lion.MeanTime, dah.MeanTime)
+	}
+	if err := tbl.Render(os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,18 @@
+package experiment
+
+import (
+	"math"
+	"strconv"
+)
+
+// Thin wrappers keep the experiment files terse.
+
+func sincos(x float64) (float64, float64) { return math.Sincos(x) }
+
+func atan2(y, x float64) float64 { return math.Atan2(y, x) }
+
+func hypot(x, y float64) float64 { return math.Hypot(x, y) }
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func absf(v float64) float64 { return math.Abs(v) }

@@ -1,0 +1,146 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Circle is a circle in the plane with the given center and radius.
+type Circle struct {
+	Center Vec2
+	Radius float64
+}
+
+// Contains reports whether p lies on the circle within tolerance tol.
+func (c Circle) Contains(p Vec2, tol float64) bool {
+	return math.Abs(c.Center.Dist(p)-c.Radius) <= tol
+}
+
+// Power returns the power of the point p with respect to the circle,
+// |p−center|² − r². Points on the circle have power zero; interior points
+// negative power; exterior points positive power.
+func (c Circle) Power(p Vec2) float64 {
+	return c.Center.DistSq(p) - c.Radius*c.Radius
+}
+
+// PointAt returns the point on the circle at the given angle (radians,
+// measured counter-clockwise from the +x axis).
+func (c Circle) PointAt(rad float64) Vec2 {
+	s, cs := math.Sincos(rad)
+	return Vec2{c.Center.X + c.Radius*cs, c.Center.Y + c.Radius*s}
+}
+
+// String implements fmt.Stringer.
+func (c Circle) String() string {
+	return fmt.Sprintf("circle{c=%v r=%.6g}", c.Center, c.Radius)
+}
+
+// RadicalLine returns the radical line of two circles: the locus of points
+// with equal power with respect to both circles. When the circles intersect,
+// the radical line is the line through their two intersection points — this
+// is Observation 1 of the LION paper (Eq. 5):
+//
+//	2(x_i−x_j)·x + 2(y_i−y_j)·y = x_i²−x_j² + y_i²−y_j² − d_i² + d_j²
+//
+// The line is degenerate (zero normal) when the circles are concentric.
+func RadicalLine(ci, cj Circle) Line2 {
+	return Line2{
+		A: 2 * (ci.Center.X - cj.Center.X),
+		B: 2 * (ci.Center.Y - cj.Center.Y),
+		C: ci.Center.NormSq() - cj.Center.NormSq() -
+			ci.Radius*ci.Radius + cj.Radius*cj.Radius,
+	}
+}
+
+// IntersectCircles returns the intersection points of two circles. It returns
+// zero points when the circles are disjoint or concentric, one point when
+// they are tangent (within tol), and two otherwise.
+func IntersectCircles(a, b Circle, tol float64) []Vec2 {
+	d := a.Center.Dist(b.Center)
+	if d == 0 {
+		return nil // concentric: either no points or infinitely many
+	}
+	if d > a.Radius+b.Radius+tol || d < math.Abs(a.Radius-b.Radius)-tol {
+		return nil
+	}
+	// Distance from a.Center to the chord midpoint along the center line.
+	h := (d*d + a.Radius*a.Radius - b.Radius*b.Radius) / (2 * d)
+	discr := a.Radius*a.Radius - h*h
+	dir := b.Center.Sub(a.Center).Scale(1 / d)
+	mid := a.Center.Add(dir.Scale(h))
+	if discr <= tol*tol {
+		return []Vec2{mid}
+	}
+	off := dir.Perp().Scale(math.Sqrt(discr))
+	return []Vec2{mid.Add(off), mid.Sub(off)}
+}
+
+// Sphere is a sphere in space with the given center and radius.
+type Sphere struct {
+	Center Vec3
+	Radius float64
+}
+
+// Contains reports whether p lies on the sphere within tolerance tol.
+func (s Sphere) Contains(p Vec3, tol float64) bool {
+	return math.Abs(s.Center.Dist(p)-s.Radius) <= tol
+}
+
+// Power returns the power of the point p with respect to the sphere.
+func (s Sphere) Power(p Vec3) float64 {
+	return s.Center.DistSq(p) - s.Radius*s.Radius
+}
+
+// String implements fmt.Stringer.
+func (s Sphere) String() string {
+	return fmt.Sprintf("sphere{c=%v r=%.6g}", s.Center, s.Radius)
+}
+
+// Plane3 is a plane in implicit form A·x + B·y + C·z = D.
+type Plane3 struct {
+	A, B, C, D float64
+}
+
+// IsDegenerate reports whether the plane has a zero normal.
+func (p Plane3) IsDegenerate() bool { return p.A == 0 && p.B == 0 && p.C == 0 }
+
+// Eval returns A·x + B·y + C·z − D, the signed (unnormalised) residual of v.
+func (p Plane3) Eval(v Vec3) float64 {
+	return p.A*v.X + p.B*v.Y + p.C*v.Z - p.D
+}
+
+// Dist returns the Euclidean distance from v to the plane.
+func (p Plane3) Dist(v Vec3) float64 {
+	n := math.Sqrt(p.A*p.A + p.B*p.B + p.C*p.C)
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(p.Eval(v)) / n
+}
+
+// Normal returns the (unnormalised) plane normal.
+func (p Plane3) Normal() Vec3 { return Vec3{p.A, p.B, p.C} }
+
+// String implements fmt.Stringer.
+func (p Plane3) String() string {
+	return fmt.Sprintf("%.6g*x + %.6g*y + %.6g*z = %.6g", p.A, p.B, p.C, p.D)
+}
+
+// RadicalPlane returns the radical plane of two spheres: the locus of points
+// with equal power with respect to both. When the spheres intersect, the
+// radical plane contains their intersection circle — this is the 3-D
+// extension used by LION (Eq. 8):
+//
+//	2(x_i−x_j)x + 2(y_i−y_j)y + 2(z_i−z_j)z
+//	  = x_i²−x_j² + y_i²−y_j² + z_i²−z_j² − d_i² + d_j²
+//
+// The plane is degenerate when the spheres are concentric.
+func RadicalPlane(si, sj Sphere) Plane3 {
+	return Plane3{
+		A: 2 * (si.Center.X - sj.Center.X),
+		B: 2 * (si.Center.Y - sj.Center.Y),
+		C: 2 * (si.Center.Z - sj.Center.Z),
+		D: si.Center.NormSq() - sj.Center.NormSq() -
+			si.Radius*si.Radius + sj.Radius*sj.Radius,
+	}
+}

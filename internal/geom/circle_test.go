@@ -1,0 +1,185 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCircleBasics(t *testing.T) {
+	c := Circle{Center: V2(1, 2), Radius: 3}
+	if !c.Contains(V2(4, 2), eps) {
+		t.Error("point on circle not contained")
+	}
+	if c.Contains(V2(1, 2), 1e-3) {
+		t.Error("center reported on circle")
+	}
+	if got := c.Power(V2(1, 2)); !almostEq(got, -9, eps) {
+		t.Errorf("Power(center) = %v, want -9", got)
+	}
+	if got := c.Power(V2(4, 2)); !almostEq(got, 0, eps) {
+		t.Errorf("Power(on circle) = %v, want 0", got)
+	}
+	p := c.PointAt(math.Pi / 2)
+	if !vec2AlmostEq(p, V2(1, 5), eps) {
+		t.Errorf("PointAt(pi/2) = %v, want (1,5)", p)
+	}
+}
+
+func TestRadicalLinePassesThroughIntersections(t *testing.T) {
+	a := Circle{Center: V2(0, 0), Radius: 2}
+	b := Circle{Center: V2(2, 0), Radius: 2}
+	l := RadicalLine(a, b)
+	pts := IntersectCircles(a, b, eps)
+	if len(pts) != 2 {
+		t.Fatalf("expected 2 intersection points, got %d", len(pts))
+	}
+	for _, p := range pts {
+		if !l.Contains(p, 1e-9) {
+			t.Errorf("intersection %v not on radical line %v", p, l)
+		}
+	}
+}
+
+func TestRadicalLineConcentricDegenerate(t *testing.T) {
+	a := Circle{Center: V2(1, 1), Radius: 1}
+	b := Circle{Center: V2(1, 1), Radius: 2}
+	if l := RadicalLine(a, b); !l.IsDegenerate() {
+		t.Errorf("concentric radical line not degenerate: %v", l)
+	}
+}
+
+func TestIntersectCircles(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Circle
+		want int
+	}{
+		{
+			"two points",
+			Circle{V2(0, 0), 1}, Circle{V2(1, 0), 1}, 2,
+		},
+		{
+			"tangent external",
+			Circle{V2(0, 0), 1}, Circle{V2(2, 0), 1}, 1,
+		},
+		{
+			"disjoint",
+			Circle{V2(0, 0), 1}, Circle{V2(5, 0), 1}, 0,
+		},
+		{
+			"contained disjoint",
+			Circle{V2(0, 0), 5}, Circle{V2(1, 0), 1}, 0,
+		},
+		{
+			"concentric",
+			Circle{V2(0, 0), 1}, Circle{V2(0, 0), 2}, 0,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pts := IntersectCircles(tt.a, tt.b, 1e-12)
+			if len(pts) != tt.want {
+				t.Fatalf("got %d points, want %d", len(pts), tt.want)
+			}
+			for _, p := range pts {
+				if !tt.a.Contains(p, 1e-9) || !tt.b.Contains(p, 1e-9) {
+					t.Errorf("point %v not on both circles", p)
+				}
+			}
+		})
+	}
+}
+
+func TestSphereBasics(t *testing.T) {
+	s := Sphere{Center: V3(0, 0, 0), Radius: 2}
+	if !s.Contains(V3(0, 0, 2), eps) {
+		t.Error("pole not on sphere")
+	}
+	if got := s.Power(V3(0, 0, 0)); !almostEq(got, -4, eps) {
+		t.Errorf("Power = %v, want -4", got)
+	}
+}
+
+func TestRadicalPlaneContainsIntersectionCircle(t *testing.T) {
+	a := Sphere{Center: V3(0, 0, 0), Radius: 2}
+	b := Sphere{Center: V3(2, 0, 0), Radius: 2}
+	p := RadicalPlane(a, b)
+	// The intersection circle lives in the plane x=1; sample points on it.
+	r := math.Sqrt(4 - 1) // radius of intersection circle
+	for _, ang := range []float64{0, 1, 2, 3, 4, 5} {
+		q := V3(1, r*math.Cos(ang), r*math.Sin(ang))
+		if !a.Contains(q, 1e-9) || !b.Contains(q, 1e-9) {
+			t.Fatalf("sample point %v not on spheres", q)
+		}
+		if p.Dist(q) > 1e-9 {
+			t.Errorf("point %v not on radical plane %v", q, p)
+		}
+	}
+}
+
+func TestRadicalPlaneConcentricDegenerate(t *testing.T) {
+	a := Sphere{Center: V3(1, 1, 1), Radius: 1}
+	b := Sphere{Center: V3(1, 1, 1), Radius: 3}
+	if p := RadicalPlane(a, b); !p.IsDegenerate() {
+		t.Errorf("concentric radical plane not degenerate: %v", p)
+	}
+}
+
+func TestPlane3DistAndNormal(t *testing.T) {
+	p := Plane3{A: 0, B: 0, C: 2, D: 4} // plane z=2
+	if got := p.Dist(V3(10, -3, 5)); !almostEq(got, 3, eps) {
+		t.Errorf("Dist = %v, want 3", got)
+	}
+	if got := p.Normal(); got != V3(0, 0, 2) {
+		t.Errorf("Normal = %v", got)
+	}
+	var degenerate Plane3
+	if !math.IsInf(degenerate.Dist(V3(0, 0, 0)), 1) {
+		t.Error("degenerate plane distance not +Inf")
+	}
+}
+
+// Property: every point on the radical line has equal power with respect to
+// both circles.
+func TestRadicalLinePropertyEqualPower(t *testing.T) {
+	f := func(ax, ay, ar, bx, by, br, s float64) bool {
+		a := Circle{V2(clamp(ax), clamp(ay)), math.Abs(clamp(ar)) + 0.1}
+		b := Circle{V2(clamp(bx), clamp(by)), math.Abs(clamp(br)) + 0.1}
+		if a.Center.Dist(b.Center) < 1e-6 {
+			return true
+		}
+		l := RadicalLine(a, b)
+		// Any point on the line: project an arbitrary point onto it.
+		p := l.Project(V2(clamp(s), clamp(s*0.7)))
+		scale := 1 + a.Center.NormSq() + b.Center.NormSq() + p.NormSq() +
+			a.Radius*a.Radius + b.Radius*b.Radius
+		return math.Abs(a.Power(p)-b.Power(p)) <= 1e-6*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: radical plane of two spheres holds points of equal power.
+func TestRadicalPlanePropertyEqualPower(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, ar, br float64) bool {
+		a := Sphere{V3(clamp(ax), clamp(ay), clamp(az)), math.Abs(clamp(ar)) + 0.1}
+		b := Sphere{V3(clamp(bx), clamp(by), clamp(bz)), math.Abs(clamp(br)) + 0.1}
+		if a.Center.Dist(b.Center) < 1e-6 {
+			return true
+		}
+		p := RadicalPlane(a, b)
+		// Construct a point on the plane by walking from an arbitrary point
+		// along the normal to the plane.
+		n := p.Normal()
+		q := V3(1, 2, -0.5)
+		q = q.Sub(n.Scale(p.Eval(q) / n.NormSq()))
+		scale := 1 + a.Center.NormSq() + b.Center.NormSq() + q.NormSq() +
+			a.Radius*a.Radius + b.Radius*b.Radius
+		return math.Abs(a.Power(q)-b.Power(q)) <= 1e-6*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

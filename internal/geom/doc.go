@@ -1,0 +1,8 @@
+// Package geom provides the planar and spatial geometry primitives used by
+// the LION localization model: vectors, lines, planes, circles, spheres, and
+// the radical lines / radical planes that turn intersections of circles and
+// spheres into linear constraints.
+//
+// All quantities are in metres unless stated otherwise. The package is pure
+// and allocation-light; every type is a plain value type safe to copy.
+package geom

@@ -1,0 +1,227 @@
+package hologram
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/rfid-lion/lion/internal/core"
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/rf"
+	"github.com/rfid-lion/lion/internal/stats"
+)
+
+const testLambda = 0.3256
+
+func genObs(ant geom.Vec3, positions []geom.Vec3, noiseStd, offset float64, rng *stats.RNG) []core.PosPhase {
+	obs := make([]core.PosPhase, len(positions))
+	for i, p := range positions {
+		theta := rf.PhaseOfDistance(ant.Dist(p), testLambda) + offset
+		if noiseStd > 0 {
+			theta += rng.Normal(0, noiseStd)
+		}
+		obs[i] = core.PosPhase{Pos: p, Theta: rf.WrapPhase(theta)}
+	}
+	return obs
+}
+
+func circlePositions(center geom.Vec3, radius float64, n int) []geom.Vec3 {
+	out := make([]geom.Vec3, n)
+	for i := range out {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		out[i] = geom.V3(center.X+radius*math.Cos(a), center.Y+radius*math.Sin(a), center.Z)
+	}
+	return out
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{
+		Lambda:  testLambda,
+		GridMin: geom.V3(0, 0, 0), GridMax: geom.V3(1, 1, 0),
+		GridStep: 0.01,
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := good
+	bad.Lambda = 0
+	if err := bad.Validate(); !errors.Is(err, ErrBadGrid) {
+		t.Errorf("zero lambda err = %v", err)
+	}
+	bad = good
+	bad.GridStep = 0
+	if err := bad.Validate(); !errors.Is(err, ErrBadGrid) {
+		t.Errorf("zero step err = %v", err)
+	}
+	bad = good
+	bad.GridMax = geom.V3(-1, 0, 0)
+	if err := bad.Validate(); !errors.Is(err, ErrBadGrid) {
+		t.Errorf("inverted bounds err = %v", err)
+	}
+}
+
+func TestLocateNoiselessFindsAntenna(t *testing.T) {
+	ant := geom.V3(0.52, 0.51, 0)
+	positions := circlePositions(geom.V3(0, 0, 0), 0.3, 72)
+	obs := genObs(ant, positions, 0, 1.7, nil) // constant offset cancels
+	cfg := Config{
+		Lambda:  testLambda,
+		GridMin: geom.V3(0.3, 0.3, 0), GridMax: geom.V3(0.7, 0.7, 0),
+		GridStep: 0.005,
+	}
+	res, err := Locate(obs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Position.Dist(ant); got > 0.008 {
+		t.Errorf("error %v m (got %v)", got, res.Position)
+	}
+	if res.Likelihood < 0.99 {
+		t.Errorf("noiseless likelihood = %v, want ~1", res.Likelihood)
+	}
+	if res.Evaluations != cfg.CellCount() {
+		t.Errorf("evaluations = %d, want %d", res.Evaluations, cfg.CellCount())
+	}
+}
+
+func TestLocateWeightedImprovesUnderBurstNoise(t *testing.T) {
+	rng := stats.NewRNG(9)
+	ant := geom.V3(0.5, 0.5, 0)
+	var plain, weighted float64
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		positions := circlePositions(geom.V3(0, 0, 0), 0.3, 72)
+		obs := genObs(ant, positions, 0.05, 0, rng)
+		for i := 5; i < 15; i++ { // corrupted burst away from reference
+			obs[i].Theta = rf.WrapPhase(obs[i].Theta + 2.0)
+		}
+		cfg := Config{
+			Lambda:  testLambda,
+			GridMin: geom.V3(0.4, 0.4, 0), GridMax: geom.V3(0.6, 0.6, 0),
+			GridStep: 0.004,
+		}
+		rp, err := Locate(obs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Weighted = true
+		rw, err := Locate(obs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain += rp.Position.Dist(ant)
+		weighted += rw.Position.Dist(ant)
+	}
+	if weighted > plain {
+		t.Errorf("weighted (%v) worse than plain (%v)", weighted/trials, plain/trials)
+	}
+}
+
+func TestLocateValidation(t *testing.T) {
+	cfg := Config{
+		Lambda:  testLambda,
+		GridMin: geom.V3(0, 0, 0), GridMax: geom.V3(1, 1, 0),
+		GridStep: 0.01,
+	}
+	if _, err := Locate(nil, cfg); !errors.Is(err, ErrTooFewObs) {
+		t.Errorf("empty obs err = %v", err)
+	}
+	if _, err := Locate([]core.PosPhase{{}}, cfg); !errors.Is(err, ErrTooFewObs) {
+		t.Errorf("single obs err = %v", err)
+	}
+}
+
+func TestLocate3DGrid(t *testing.T) {
+	ant := geom.V3(0.5, 0.5, 0.1)
+	// Two-plane trajectory for z-diversity.
+	positions := append(
+		circlePositions(geom.V3(0, 0, 0), 0.3, 36),
+		circlePositions(geom.V3(0, 0, 0.2), 0.3, 36)...)
+	obs := genObs(ant, positions, 0, 0, nil)
+	cfg := Config{
+		Lambda:  testLambda,
+		GridMin: geom.V3(0.4, 0.4, 0), GridMax: geom.V3(0.6, 0.6, 0.2),
+		GridStep: 0.01,
+	}
+	res, err := Locate(obs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Position.Dist(ant); got > 0.02 {
+		t.Errorf("3-D error %v m (got %v)", got, res.Position)
+	}
+	wantCells := cfg.CellCount()
+	if res.Evaluations != wantCells {
+		t.Errorf("evaluations = %d, want %d", res.Evaluations, wantCells)
+	}
+}
+
+func TestCellCount(t *testing.T) {
+	cfg := Config{
+		Lambda:  testLambda,
+		GridMin: geom.V3(0, 0, 0), GridMax: geom.V3(0.1, 0.2, 0),
+		GridStep: 0.1,
+	}
+	if got := cfg.CellCount(); got != 2*3*1 {
+		t.Errorf("CellCount = %d", got)
+	}
+}
+
+func TestLocateTagMultiAntenna(t *testing.T) {
+	// Three antennas in a line (the Fig. 19 deployment), static tag.
+	tag := geom.V3(-0.1, 0.8, 0)
+	offsets := []float64{3.98, 2.74, 4.07} // the paper's measured offsets
+	var readings []AntennaReading
+	for i, ax := range []float64{-0.3, 0, 0.3} {
+		center := geom.V3(ax, 0, 0)
+		phase := rf.WrapPhase(rf.PhaseOfDistance(tag.Dist(center), testLambda) + offsets[i])
+		readings = append(readings, AntennaReading{
+			Center: center,
+			Phase:  phase,
+			Offset: offsets[i], // fully calibrated
+		})
+	}
+	cfg := Config{
+		Lambda:  testLambda,
+		GridMin: geom.V3(-0.5, 0.4, 0), GridMax: geom.V3(0.5, 1.2, 0),
+		GridStep: 0.005,
+	}
+	res, err := LocateTagMultiAntenna(readings, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Position.Dist(tag); got > 0.02 {
+		t.Errorf("calibrated error %v m (got %v)", got, res.Position)
+	}
+
+	// Without offset calibration the estimate must degrade.
+	var uncal []AntennaReading
+	for _, r := range readings {
+		r.Offset = 0
+		uncal = append(uncal, r)
+	}
+	res2, err := LocateTagMultiAntenna(uncal, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Position.Dist(tag) < res.Position.Dist(tag) {
+		t.Errorf("uncalibrated (%v) beat calibrated (%v)",
+			res2.Position.Dist(tag), res.Position.Dist(tag))
+	}
+}
+
+func TestLocateTagMultiAntennaValidation(t *testing.T) {
+	cfg := Config{
+		Lambda:  testLambda,
+		GridMin: geom.V3(0, 0, 0), GridMax: geom.V3(1, 1, 0),
+		GridStep: 0.01,
+	}
+	if _, err := LocateTagMultiAntenna(nil, cfg); !errors.Is(err, ErrTooFewObs) {
+		t.Errorf("empty readings err = %v", err)
+	}
+	bad := cfg
+	bad.GridStep = -1
+	if _, err := LocateTagMultiAntenna(make([]AntennaReading, 3), bad); !errors.Is(err, ErrBadGrid) {
+		t.Errorf("bad grid err = %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+package hologram
+
+import (
+	"math"
+
+	"github.com/rfid-lion/lion/internal/geom"
+)
+
+// AntennaReading is one static antenna's averaged measurement of a static
+// tag, used by the multi-antenna case study (Sec. V-F-1, Figs. 19–20).
+type AntennaReading struct {
+	// Center is the antenna position assumed for scoring: the physical
+	// center when uncalibrated, or the calibrated phase center.
+	Center geom.Vec3
+	// Phase is the measured wrapped phase.
+	Phase float64
+	// Offset is the calibrated per-antenna phase offset to subtract;
+	// zero when the offset is uncalibrated.
+	Offset float64
+}
+
+// LocateTagMultiAntenna estimates a static tag's position from readings of
+// several antennas with the differential hologram: candidate positions are
+// scored by the consistency of pairwise phase differences, which cancels
+// whatever common offset remains. Calibration quality enters through the
+// Center and Offset fields — this is exactly the knob the Fig. 20 case study
+// turns (no calibration → center calibration → center+offset calibration).
+func LocateTagMultiAntenna(readings []AntennaReading, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(readings) < 2 {
+		return nil, ErrTooFewObs
+	}
+	k := 4 * math.Pi / cfg.Lambda
+	corrected := make([]float64, len(readings))
+	for i, r := range readings {
+		corrected[i] = r.Phase - r.Offset
+	}
+
+	best := &Result{Likelihood: -1}
+	nPairs := float64(len(readings) * (len(readings) - 1) / 2)
+	forEachCell(cfg, func(p geom.Vec3) {
+		var re, im float64
+		for i := 0; i < len(readings); i++ {
+			di := p.Dist(readings[i].Center)
+			for j := i + 1; j < len(readings); j++ {
+				dj := p.Dist(readings[j].Center)
+				measured := corrected[i] - corrected[j]
+				predicted := k * (di - dj)
+				s, c := math.Sincos(measured - predicted)
+				re += c
+				im += s
+			}
+		}
+		score := math.Hypot(re, im) / nPairs
+		best.Evaluations++
+		if score > best.Likelihood {
+			best.Likelihood = score
+			best.Position = p
+		}
+	})
+	return best, nil
+}

@@ -1,0 +1,151 @@
+// Package hyperbola implements the model-based baseline from the paper's
+// related work (Sec. VI): hyperbola-based localization. Each pair of tag
+// positions (i, j) with measured distance difference Δd_ij defines one
+// hyperbola |p−q_i| − |p−q_j| = Δd_ij; the target lies at the intersection.
+// Solving the stack of quadratic constraints requires non-linear iteration —
+// here Gauss–Newton with a damped step — which is precisely the cost LION's
+// radical-line reduction avoids.
+package hyperbola
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/rfid-lion/lion/internal/core"
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/mat"
+	"github.com/rfid-lion/lion/internal/rf"
+)
+
+// Errors returned by the solver.
+var (
+	ErrNoConverge = errors.New("hyperbola: Gauss-Newton did not converge")
+	ErrTooFewObs  = errors.New("hyperbola: too few observations or pairs")
+)
+
+// Options configures the Gauss–Newton iteration.
+type Options struct {
+	// MaxIterations bounds the iteration count; zero means 50.
+	MaxIterations int
+	// Tolerance stops when the update step is shorter than this (metres);
+	// zero means 1e-8.
+	Tolerance float64
+	// Dim is 2 or 3; zero means 2.
+	Dim int
+}
+
+func (o Options) maxIter() int {
+	if o.MaxIterations <= 0 {
+		return 50
+	}
+	return o.MaxIterations
+}
+
+func (o Options) tol() float64 {
+	if o.Tolerance <= 0 {
+		return 1e-8
+	}
+	return o.Tolerance
+}
+
+func (o Options) dim() int {
+	if o.Dim == 0 {
+		return 2
+	}
+	return o.Dim
+}
+
+// Result is the hyperbola-intersection estimate.
+type Result struct {
+	Position   geom.Vec3
+	Iterations int
+	// RMSResidual is the root-mean-square distance-difference residual at
+	// the estimate, in metres.
+	RMSResidual float64
+}
+
+// Locate estimates the target position from observations on a known
+// trajectory by intersecting pairwise hyperbolas. The measured distance
+// differences come from the unwrapped phase differences (Eq. 6). init seeds
+// the iteration — a coarse guess (e.g. a metre from the trajectory toward
+// the reader) suffices in practice.
+func Locate(obs []core.PosPhase, lambda float64, pairs []core.Pair, init geom.Vec3, opts Options) (*Result, error) {
+	dim := opts.dim()
+	if dim != 2 && dim != 3 {
+		return nil, fmt.Errorf("hyperbola: dimension %d not supported", dim)
+	}
+	if len(pairs) < dim {
+		return nil, ErrTooFewObs
+	}
+	for _, pr := range pairs {
+		if pr.I < 0 || pr.I >= len(obs) || pr.J < 0 || pr.J >= len(obs) || pr.I == pr.J {
+			return nil, fmt.Errorf("hyperbola: invalid pair (%d,%d): %w",
+				pr.I, pr.J, ErrTooFewObs)
+		}
+	}
+
+	// Measured distance differences per pair.
+	dd := make([]float64, len(pairs))
+	for r, pr := range pairs {
+		dd[r] = rf.DistanceOfPhaseDelta(obs[pr.I].Theta-obs[pr.J].Theta, lambda)
+	}
+
+	p := init
+	var rms float64
+	for iter := 1; iter <= opts.maxIter(); iter++ {
+		jac := mat.NewDense(len(pairs), dim)
+		res := make([]float64, len(pairs))
+		var ssq float64
+		for r, pr := range pairs {
+			qi, qj := obs[pr.I].Pos, obs[pr.J].Pos
+			di := p.Dist(qi)
+			dj := p.Dist(qj)
+			if di < 1e-9 || dj < 1e-9 {
+				di, dj = math.Max(di, 1e-9), math.Max(dj, 1e-9)
+			}
+			res[r] = (di - dj) - dd[r]
+			ssq += res[r] * res[r]
+			gi := p.Sub(qi).Scale(1 / di)
+			gj := p.Sub(qj).Scale(1 / dj)
+			g := gi.Sub(gj)
+			jac.Set(r, 0, g.X)
+			jac.Set(r, 1, g.Y)
+			if dim == 3 {
+				jac.Set(r, 2, g.Z)
+			}
+		}
+		rms = math.Sqrt(ssq / float64(len(pairs)))
+
+		// Gauss-Newton step: solve J·δ = −res in the least-squares sense,
+		// with Levenberg damping on the normal equations for robustness.
+		gram := jac.Gram()
+		for c := 0; c < dim; c++ {
+			gram.Set(c, c, gram.At(c, c)*(1+1e-9)+1e-12)
+		}
+		rhs, err := jac.TMulVec(res)
+		if err != nil {
+			return nil, fmt.Errorf("hyperbola: %w", err)
+		}
+		for i := range rhs {
+			rhs[i] = -rhs[i]
+		}
+		step, err := mat.SolveCholesky(gram, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrNoConverge, err)
+		}
+		delta := geom.V3(step[0], step[1], 0)
+		if dim == 3 {
+			delta.Z = step[2]
+		}
+		// Damp overlong steps to keep the iteration inside the basin.
+		if n := delta.Norm(); n > 0.5 {
+			delta = delta.Scale(0.5 / n)
+		}
+		p = p.Add(delta)
+		if delta.Norm() < opts.tol() {
+			return &Result{Position: p, Iterations: iter, RMSResidual: rms}, nil
+		}
+	}
+	return &Result{Position: p, Iterations: opts.maxIter(), RMSResidual: rms}, ErrNoConverge
+}

@@ -1,0 +1,126 @@
+package hyperbola
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/rfid-lion/lion/internal/core"
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/rf"
+	"github.com/rfid-lion/lion/internal/stats"
+)
+
+const testLambda = 0.3256
+
+func genObs(ant geom.Vec3, positions []geom.Vec3, noiseStd float64, rng *stats.RNG) []core.PosPhase {
+	obs := make([]core.PosPhase, len(positions))
+	for i, p := range positions {
+		theta := rf.PhaseOfDistance(ant.Dist(p), testLambda)
+		if noiseStd > 0 {
+			theta += rng.Normal(0, noiseStd)
+		}
+		obs[i] = core.PosPhase{Pos: p, Theta: theta}
+	}
+	return obs
+}
+
+func circlePositions(radius float64, n int) []geom.Vec3 {
+	out := make([]geom.Vec3, n)
+	for i := range out {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		out[i] = geom.V3(radius*math.Cos(a), radius*math.Sin(a), 0)
+	}
+	return out
+}
+
+func TestLocate2DNoiseless(t *testing.T) {
+	ant := geom.V3(1, 0.2, 0)
+	obs := genObs(ant, circlePositions(0.3, 72), 0, nil)
+	pairs := core.StridePairs(len(obs), 18)
+	res, err := Locate(obs, testLambda, pairs, geom.V3(0.5, 0.5, 0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Position.Dist(ant); got > 1e-6 {
+		t.Errorf("error %v m (got %v)", got, res.Position)
+	}
+	if res.RMSResidual > 1e-6 {
+		t.Errorf("RMS residual = %v", res.RMSResidual)
+	}
+}
+
+func TestLocate2DNoisy(t *testing.T) {
+	rng := stats.NewRNG(2)
+	ant := geom.V3(1, 0, 0)
+	var sum float64
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		obs := genObs(ant, circlePositions(0.3, 120), 0.1, rng)
+		pairs := core.StridePairs(len(obs), 30)
+		res, err := Locate(obs, testLambda, pairs, geom.V3(0.5, 0.3, 0), Options{})
+		if err != nil && !errors.Is(err, ErrNoConverge) {
+			t.Fatal(err)
+		}
+		sum += res.Position.Dist(ant)
+	}
+	if avg := sum / trials; avg > 0.04 {
+		t.Errorf("average noisy error %v m", avg)
+	}
+}
+
+func TestLocate3D(t *testing.T) {
+	ant := geom.V3(0.2, 0.9, 0.3)
+	var positions []geom.Vec3
+	for i := 0; i < 120; i++ {
+		a := 4 * math.Pi * float64(i) / 120
+		positions = append(positions,
+			geom.V3(0.3*math.Cos(a), 0.3*math.Sin(a), 0.25*float64(i)/120))
+	}
+	obs := genObs(ant, positions, 0, nil)
+	pairs := core.StridePairs(len(obs), 30)
+	res, err := Locate(obs, testLambda, pairs, geom.V3(0, 0.5, 0), Options{Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Position.Dist(ant); got > 1e-5 {
+		t.Errorf("3-D error %v m (got %v)", got, res.Position)
+	}
+}
+
+func TestLocateValidation(t *testing.T) {
+	obs := genObs(geom.V3(1, 0, 0), circlePositions(0.3, 10), 0, nil)
+	if _, err := Locate(obs, testLambda, nil, geom.Vec3{}, Options{}); !errors.Is(err, ErrTooFewObs) {
+		t.Errorf("no pairs err = %v", err)
+	}
+	badPairs := []core.Pair{{I: 0, J: 99}, {I: 1, J: 2}, {I: 3, J: 4}}
+	if _, err := Locate(obs, testLambda, badPairs, geom.Vec3{}, Options{}); !errors.Is(err, ErrTooFewObs) {
+		t.Errorf("bad pair err = %v", err)
+	}
+	if _, err := Locate(obs, testLambda, core.StridePairs(10, 2), geom.Vec3{}, Options{Dim: 4}); err == nil {
+		t.Error("dim 4 accepted")
+	}
+}
+
+func TestLocateIterationBudget(t *testing.T) {
+	ant := geom.V3(1, 0, 0)
+	obs := genObs(ant, circlePositions(0.3, 60), 0, nil)
+	pairs := core.StridePairs(len(obs), 15)
+	_, err := Locate(obs, testLambda, pairs, geom.V3(0.5, 0.5, 0), Options{MaxIterations: 1})
+	if !errors.Is(err, ErrNoConverge) {
+		t.Errorf("1-iteration err = %v, want ErrNoConverge", err)
+	}
+}
+
+func TestLocateConvergesFromFarInit(t *testing.T) {
+	ant := geom.V3(0.8, 0.4, 0)
+	obs := genObs(ant, circlePositions(0.3, 90), 0, nil)
+	pairs := core.StridePairs(len(obs), 22)
+	res, err := Locate(obs, testLambda, pairs, geom.V3(3, -2, 0), Options{MaxIterations: 200})
+	if err != nil {
+		t.Fatalf("far init failed: %v", err)
+	}
+	if got := res.Position.Dist(ant); got > 1e-5 {
+		t.Errorf("far-init error %v m", got)
+	}
+}

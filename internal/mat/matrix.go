@@ -1,0 +1,350 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Errors shared by the solvers in this package.
+var (
+	// ErrShape is returned when matrix dimensions are incompatible with the
+	// requested operation.
+	ErrShape = errors.New("mat: incompatible matrix shapes")
+	// ErrSingular is returned when a factorization or solve encounters a
+	// (numerically) singular matrix.
+	ErrSingular = errors.New("mat: matrix is singular or ill-conditioned")
+	// ErrNotSPD is returned by Cholesky when the matrix is not symmetric
+	// positive definite.
+	ErrNotSPD = errors.New("mat: matrix is not symmetric positive definite")
+)
+
+// Dense is a row-major dense matrix of float64 values.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns a zero-initialised rows×cols matrix. It panics if either
+// dimension is not positive — a programming error, not a runtime condition.
+func NewDense(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows. The data is
+// copied.
+func FromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, ErrShape
+	}
+	cols := len(rows[0])
+	m := NewDense(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("row %d has %d entries, want %d: %w",
+				i, len(r), cols, ErrShape)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a copy of row i.
+func (m *Dense) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// SetRow copies the given values into row i.
+func (m *Dense) SetRow(i int, vals []float64) error {
+	if len(vals) != m.cols {
+		return ErrShape
+	}
+	copy(m.data[i*m.cols:(i+1)*m.cols], vals)
+	return nil
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Add returns m + n.
+func (m *Dense) Add(n *Dense) (*Dense, error) {
+	if m.rows != n.rows || m.cols != n.cols {
+		return nil, ErrShape
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] += n.data[i]
+	}
+	return out, nil
+}
+
+// Sub returns m − n.
+func (m *Dense) Sub(n *Dense) (*Dense, error) {
+	if m.rows != n.rows || m.cols != n.cols {
+		return nil, ErrShape
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] -= n.data[i]
+	}
+	return out, nil
+}
+
+// ScaleBy returns s·m.
+func (m *Dense) ScaleBy(s float64) *Dense {
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] *= s
+	}
+	return out
+}
+
+// Mul returns the matrix product m·n.
+func (m *Dense) Mul(n *Dense) (*Dense, error) {
+	if m.cols != n.rows {
+		return nil, ErrShape
+	}
+	out := NewDense(m.rows, n.cols)
+	for i := 0; i < m.rows; i++ {
+		mi := m.data[i*m.cols : (i+1)*m.cols]
+		oi := out.data[i*out.cols : (i+1)*out.cols]
+		for k, mik := range mi {
+			if mik == 0 {
+				continue
+			}
+			nk := n.data[k*n.cols : (k+1)*n.cols]
+			for j, nkj := range nk {
+				oi[j] += mik * nkj
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m·v.
+func (m *Dense) MulVec(v []float64) ([]float64, error) {
+	if m.cols != len(v) {
+		return nil, ErrShape
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, r := range row {
+			s += r * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Gram returns the Gram matrix mᵀ·m (cols×cols), computed directly without
+// materialising the transpose.
+func (m *Dense) Gram() *Dense {
+	out := NewDense(m.cols, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for a, ra := range row {
+			if ra == 0 {
+				continue
+			}
+			oa := out.data[a*m.cols : (a+1)*m.cols]
+			for b, rb := range row {
+				oa[b] += ra * rb
+			}
+		}
+	}
+	return out
+}
+
+// WeightedGram returns mᵀ·diag(w)·m. The weight slice must have one entry
+// per row of m.
+func (m *Dense) WeightedGram(w []float64) (*Dense, error) {
+	if len(w) != m.rows {
+		return nil, ErrShape
+	}
+	out := NewDense(m.cols, m.cols)
+	for i := 0; i < m.rows; i++ {
+		wi := w[i]
+		if wi == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for a, ra := range row {
+			if ra == 0 {
+				continue
+			}
+			oa := out.data[a*m.cols : (a+1)*m.cols]
+			s := wi * ra
+			for b, rb := range row {
+				oa[b] += s * rb
+			}
+		}
+	}
+	return out, nil
+}
+
+// TMulVec returns mᵀ·v without materialising the transpose.
+func (m *Dense) TMulVec(v []float64) ([]float64, error) {
+	if m.rows != len(v) {
+		return nil, ErrShape
+	}
+	out := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, r := range row {
+			out[j] += r * vi
+		}
+	}
+	return out, nil
+}
+
+// WeightedTMulVec returns mᵀ·diag(w)·v.
+func (m *Dense) WeightedTMulVec(w, v []float64) ([]float64, error) {
+	if m.rows != len(v) || m.rows != len(w) {
+		return nil, ErrShape
+	}
+	out := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		wv := w[i] * v[i]
+		if wv == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, r := range row {
+			out[j] += r * wv
+		}
+	}
+	return out, nil
+}
+
+// MaxAbs returns the largest absolute entry of m.
+func (m *Dense) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Dense) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Equal reports whether m and n have the same shape and entries within tol.
+func (m *Dense) Equal(n *Dense, tol float64) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(v-n.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%10.4g", m.At(i, j))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// Vector helpers shared across the package.
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// AXPY computes y ← y + a·x in place.
+func AXPY(a float64, x, y []float64) {
+	for i, xi := range x {
+		y[i] += a * xi
+	}
+}

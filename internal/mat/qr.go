@@ -1,0 +1,126 @@
+package mat
+
+import (
+	"math"
+)
+
+// QR holds a Householder QR factorization of an m×n matrix (m ≥ n):
+// A = Q·R with orthonormal Q (m×n, thin) and upper-triangular R (n×n).
+// The factorization is stored compactly; use Solve to apply it.
+type QR struct {
+	qr   *Dense    // Householder vectors below the diagonal, R on and above
+	tau  []float64 // Householder scalars
+	rows int
+	cols int
+}
+
+// FactorQR computes the Householder QR factorization of a. The matrix must
+// have at least as many rows as columns.
+func FactorQR(a *Dense) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, ErrShape
+	}
+	qr := a.Clone()
+	tau := make([]float64, n)
+
+	for k := 0; k < n; k++ {
+		// Compute the Householder reflector for column k.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm == 0 {
+			tau[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		tau[k] = qr.At(k, k)
+
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		qr.Set(k, k, -norm)
+	}
+	return &QR{qr: qr, tau: tau, rows: m, cols: n}, nil
+}
+
+// Solve returns the least-squares solution x minimising ‖A·x − b‖₂ using the
+// factorization. It returns ErrSingular when R has a (numerically) zero
+// diagonal entry, i.e. A is rank deficient.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	m, n := f.rows, f.cols
+	if len(b) != m {
+		return nil, ErrShape
+	}
+	// y = Qᵀ·b, applied reflector by reflector.
+	y := make([]float64, m)
+	copy(y, b)
+	for k := 0; k < n; k++ {
+		if f.tau[k] == 0 {
+			continue
+		}
+		// The reflector for column k is stored with v_k = 1 implicit in
+		// tau; here columns hold v directly with v[k] = tau[k].
+		var s float64
+		s += f.tau[k] * y[k]
+		for i := k + 1; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.tau[k]
+		y[k] += s * f.tau[k]
+		for i := k + 1; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back substitution with R.
+	scale := f.qr.MaxAbs()
+	tol := 1e-13 * math.Max(scale, 1)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		rii := f.qr.At(i, i)
+		if math.Abs(rii) <= tol {
+			return nil, ErrSingular
+		}
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / rii
+	}
+	return x, nil
+}
+
+// R returns a copy of the upper-triangular factor.
+func (f *QR) R() *Dense {
+	r := NewDense(f.cols, f.cols)
+	for i := 0; i < f.cols; i++ {
+		for j := i; j < f.cols; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// SolveQR is a convenience wrapper factoring a and solving in one call.
+func SolveQR(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

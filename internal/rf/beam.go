@@ -1,0 +1,90 @@
+package rf
+
+import (
+	"errors"
+	"math"
+
+	"github.com/rfid-lion/lion/internal/geom"
+)
+
+// ErrBadBeam is returned for invalid beam parameters.
+var ErrBadBeam = errors.New("rf: beamwidth must be in (0, π)")
+
+// Beam models a directional antenna's power gain as a function of the angle
+// off boresight with the classic cosᵠ pattern, calibrated so that the gain
+// is −3 dB at half the beamwidth. The Laird S9028PCL panel antenna used by
+// the paper has a ~70° half-power beamwidth.
+type Beam struct {
+	// Boresight is the antenna's pointing direction (need not be unit
+	// length).
+	Boresight geom.Vec3
+	// BeamwidthRad is the full half-power beamwidth in radians.
+	BeamwidthRad float64
+	// FloorGain is the minimum power gain, modelling side lobes. Values
+	// around 1e-3 (−30 dB) are realistic for a panel antenna.
+	FloorGain float64
+
+	exponent float64
+}
+
+// DefaultBeamwidthRad matches the Laird S9028PCL (~70 degrees).
+const DefaultBeamwidthRad = 70 * math.Pi / 180
+
+// NewBeam builds a beam pattern pointing along boresight with the given full
+// half-power beamwidth.
+func NewBeam(boresight geom.Vec3, beamwidthRad float64) (*Beam, error) {
+	if beamwidthRad <= 0 || beamwidthRad >= math.Pi {
+		return nil, ErrBadBeam
+	}
+	if boresight.Norm() == 0 {
+		return nil, errors.New("rf: beam boresight must be non-zero")
+	}
+	b := &Beam{
+		Boresight:    boresight.Unit(),
+		BeamwidthRad: beamwidthRad,
+		FloorGain:    1e-3,
+	}
+	// Solve cos(bw/2)^q = 1/2 so the pattern hits −3 dB at half beamwidth.
+	c := math.Cos(beamwidthRad / 2)
+	b.exponent = math.Log(0.5) / math.Log(c)
+	return b, nil
+}
+
+// Gain returns the power gain toward the target point seen from the antenna
+// position. Directions behind the antenna and beyond the pattern roll-off
+// are clamped to FloorGain.
+func (b *Beam) Gain(antenna, target geom.Vec3) float64 {
+	dir := target.Sub(antenna)
+	n := dir.Norm()
+	if n == 0 {
+		return 1
+	}
+	c := dir.Scale(1 / n).Dot(b.Boresight)
+	if c <= 0 {
+		return b.FloorGain
+	}
+	g := math.Pow(c, b.exponent)
+	if g < b.FloorGain {
+		return b.FloorGain
+	}
+	return g
+}
+
+// OffAxisRad returns the angle between boresight and the direction to the
+// target, in radians.
+func (b *Beam) OffAxisRad(antenna, target geom.Vec3) float64 {
+	dir := target.Sub(antenna)
+	n := dir.Norm()
+	if n == 0 {
+		return 0
+	}
+	c := dir.Scale(1 / n).Dot(b.Boresight)
+	return math.Acos(math.Max(-1, math.Min(1, c)))
+}
+
+// NoiseScale converts the beam gain toward a target into a multiplier on the
+// baseline phase-noise standard deviation: lower gain means lower SNR and
+// therefore noisier phase, σ ∝ 1/√gain.
+func (b *Beam) NoiseScale(antenna, target geom.Vec3) float64 {
+	return 1 / math.Sqrt(b.Gain(antenna, target))
+}

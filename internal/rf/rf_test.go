@@ -1,0 +1,265 @@
+package rf
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/rfid-lion/lion/internal/geom"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBandWavelength(t *testing.T) {
+	b := DefaultBand()
+	// λ = c/f ≈ 0.3257 m at 920.625 MHz; the paper quotes a
+	// half-wavelength of "about 16 cm".
+	if got := b.Wavelength(); !almostEq(got, 0.32564, 1e-4) {
+		t.Errorf("Wavelength = %v", got)
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("Validate = %v", err)
+	}
+	if err := (Band{}).Validate(); !errors.Is(err, ErrBadFrequency) {
+		t.Errorf("zero freq err = %v", err)
+	}
+}
+
+func TestWrapPhase(t *testing.T) {
+	tests := []struct {
+		in, want float64
+	}{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, 3 * math.Pi / 2},
+		{5 * math.Pi, math.Pi},
+	}
+	for _, tt := range tests {
+		if got := WrapPhase(tt.in); !almostEq(got, tt.want, 1e-12) {
+			t.Errorf("WrapPhase(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestWrapPhaseSigned(t *testing.T) {
+	if got := WrapPhaseSigned(3 * math.Pi / 2); !almostEq(got, -math.Pi/2, 1e-12) {
+		t.Errorf("WrapPhaseSigned = %v", got)
+	}
+	if got := WrapPhaseSigned(math.Pi); !almostEq(got, math.Pi, 1e-12) {
+		t.Errorf("WrapPhaseSigned(pi) = %v", got)
+	}
+}
+
+func TestWrapPhasePropertyRange(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		w := WrapPhase(x)
+		s := WrapPhaseSigned(x)
+		return w >= 0 && w < 2*math.Pi && s > -math.Pi && s <= math.Pi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseDistanceRoundTrip(t *testing.T) {
+	lambda := DefaultBand().Wavelength()
+	d := 0.42
+	theta := PhaseOfDistance(d, lambda)
+	if got := DistanceOfPhaseDelta(theta, lambda); !almostEq(got, d, 1e-12) {
+		t.Errorf("round trip = %v, want %v", got, d)
+	}
+}
+
+func TestReflectorImage(t *testing.T) {
+	// Floor z=0.
+	r := Reflector{Plane: geom.Plane3{C: 1}, Coeff: 0.5}
+	got := r.Image(geom.V3(1, 2, 3))
+	if got != geom.V3(1, 2, -3) {
+		t.Errorf("Image = %v", got)
+	}
+	// Image is an involution.
+	if back := r.Image(got); back != geom.V3(1, 2, 3) {
+		t.Errorf("double image = %v", back)
+	}
+	// Degenerate plane leaves the point alone.
+	deg := Reflector{Plane: geom.Plane3{}, Coeff: 0.5}
+	if got := deg.Image(geom.V3(1, 2, 3)); got != geom.V3(1, 2, 3) {
+		t.Errorf("degenerate image = %v", got)
+	}
+}
+
+func TestFreeSpaceChannelPhaseMatchesFormula(t *testing.T) {
+	p, err := NewPropagation(DefaultBand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ant := geom.V3(0, 0, 0)
+	for _, d := range []float64{0.3, 0.65, 1, 1.6, 2.5} {
+		tag := geom.V3(0, d, 0)
+		got := p.ChannelPhase(ant, tag)
+		want := WrapPhase(PhaseOfDistance(d, p.Lambda))
+		if !almostEq(got, want, 1e-9) && !almostEq(math.Abs(got-want), 2*math.Pi, 1e-9) {
+			t.Errorf("d=%v: phase = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestMultipathPerturbsPhase(t *testing.T) {
+	b := DefaultBand()
+	free, err := NewPropagation(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := NewPropagation(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A floor at z = −1 m with moderate reflectivity.
+	multi.Reflectors = []Reflector{{Plane: geom.Plane3{C: 1, D: -1}, Coeff: 0.4}}
+	ant := geom.V3(0, 0, 0)
+	tag := geom.V3(0, 0.8, 0)
+	pf := free.ChannelPhase(ant, tag)
+	pm := multi.ChannelPhase(ant, tag)
+	if almostEq(pf, pm, 1e-9) {
+		t.Error("reflector had no effect on phase")
+	}
+	diff := math.Abs(WrapPhaseSigned(pf - pm))
+	// The bounce is longer and weaker than the direct path, so it perturbs
+	// rather than dominates.
+	if diff > math.Pi/2 {
+		t.Errorf("multipath distortion implausibly large: %v rad", diff)
+	}
+	// Zero-coefficient reflectors are skipped entirely.
+	multi.Reflectors[0].Coeff = 0
+	if got := multi.ChannelPhase(ant, tag); !almostEq(got, pf, 1e-12) {
+		t.Errorf("zero-coeff reflector changed phase: %v vs %v", got, pf)
+	}
+}
+
+func TestChannelMagnitudeDecaysWithDistance(t *testing.T) {
+	p, err := NewPropagation(DefaultBand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ant := geom.V3(0, 0, 0)
+	m1 := p.ChannelMagnitude(ant, geom.V3(0, 0.5, 0))
+	m2 := p.ChannelMagnitude(ant, geom.V3(0, 1.0, 0))
+	if m2 >= m1 {
+		t.Errorf("magnitude did not decay: %v then %v", m1, m2)
+	}
+	// Two-way free space: |h| = 1/d², so doubling distance quarters |g|
+	// and divides |h| by 16... wait |h| = |g|² = 1/d².
+	if !almostEq(m1/m2, 4, 1e-9) {
+		t.Errorf("decay ratio = %v, want 4", m1/m2)
+	}
+}
+
+func TestRSSI(t *testing.T) {
+	if got := RSSI(1, 32); got != 32 {
+		t.Errorf("RSSI(1) = %v", got)
+	}
+	if got := RSSI(0.1, 32); !almostEq(got, 12, 1e-9) {
+		t.Errorf("RSSI(0.1) = %v", got)
+	}
+	if got := RSSI(0, 32); !math.IsInf(got, -1) {
+		t.Errorf("RSSI(0) = %v", got)
+	}
+}
+
+func TestNewPropagationValidates(t *testing.T) {
+	if _, err := NewPropagation(Band{}); !errors.Is(err, ErrBadFrequency) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestZeroDistancePathIsFinite(t *testing.T) {
+	p, err := NewPropagation(DefaultBand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.Response(geom.V3(0, 0, 0), geom.V3(0, 0, 0))
+	if math.IsNaN(real(h)) || math.IsInf(real(h), 0) {
+		t.Errorf("coincident response not finite: %v", h)
+	}
+}
+
+func TestBeamGain(t *testing.T) {
+	b, err := NewBeam(geom.V3(0, 1, 0), DefaultBeamwidthRad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ant := geom.V3(0, 0, 0)
+	// On boresight: unity gain.
+	if got := b.Gain(ant, geom.V3(0, 1, 0)); !almostEq(got, 1, 1e-12) {
+		t.Errorf("boresight gain = %v", got)
+	}
+	// At half beamwidth: −3 dB.
+	half := DefaultBeamwidthRad / 2
+	target := geom.V3(math.Sin(half), math.Cos(half), 0)
+	if got := b.Gain(ant, target); !almostEq(got, 0.5, 1e-9) {
+		t.Errorf("half-beamwidth gain = %v, want 0.5", got)
+	}
+	// Behind the antenna: floor gain.
+	if got := b.Gain(ant, geom.V3(0, -1, 0)); got != b.FloorGain {
+		t.Errorf("rear gain = %v, want floor %v", got, b.FloorGain)
+	}
+	// Coincident target: defined as unity.
+	if got := b.Gain(ant, ant); got != 1 {
+		t.Errorf("coincident gain = %v", got)
+	}
+}
+
+func TestBeamGainMonotoneOffAxis(t *testing.T) {
+	b, err := NewBeam(geom.V3(0, 1, 0), DefaultBeamwidthRad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ant := geom.V3(0, 0, 0)
+	prev := math.Inf(1)
+	for deg := 0; deg <= 90; deg += 5 {
+		a := float64(deg) * math.Pi / 180
+		g := b.Gain(ant, geom.V3(math.Sin(a), math.Cos(a), 0))
+		if g > prev+1e-12 {
+			t.Fatalf("gain increased off-axis at %d deg: %v > %v", deg, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestBeamOffAxisAndNoiseScale(t *testing.T) {
+	b, err := NewBeam(geom.V3(0, 1, 0), DefaultBeamwidthRad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ant := geom.V3(0, 0, 0)
+	if got := b.OffAxisRad(ant, geom.V3(1, 0, 0)); !almostEq(got, math.Pi/2, 1e-12) {
+		t.Errorf("OffAxis = %v", got)
+	}
+	if got := b.OffAxisRad(ant, ant); got != 0 {
+		t.Errorf("OffAxis coincident = %v", got)
+	}
+	// Noise scale is 1 on boresight and grows off-axis.
+	if got := b.NoiseScale(ant, geom.V3(0, 1, 0)); !almostEq(got, 1, 1e-12) {
+		t.Errorf("boresight noise scale = %v", got)
+	}
+	if got := b.NoiseScale(ant, geom.V3(1, 0.2, 0)); got <= 1 {
+		t.Errorf("off-axis noise scale = %v, want > 1", got)
+	}
+}
+
+func TestNewBeamValidation(t *testing.T) {
+	if _, err := NewBeam(geom.V3(0, 1, 0), 0); !errors.Is(err, ErrBadBeam) {
+		t.Errorf("zero beamwidth err = %v", err)
+	}
+	if _, err := NewBeam(geom.V3(0, 1, 0), math.Pi); !errors.Is(err, ErrBadBeam) {
+		t.Errorf("pi beamwidth err = %v", err)
+	}
+	if _, err := NewBeam(geom.Vec3{}, 1); err == nil {
+		t.Error("zero boresight accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/rf"
+	"github.com/rfid-lion/lion/internal/traject"
+)
+
+func TestFadeModelRate(t *testing.T) {
+	f := &FadeModel{RatePerMeter: 0.5, RefDistance: 0.8}
+	if got := f.rate(0.8); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("rate at ref = %v", got)
+	}
+	if got := f.rate(1.6); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("rate at 2x ref = %v, want 4x base", got)
+	}
+	// Zero ref distance disables scaling.
+	f.RefDistance = 0
+	if got := f.rate(3); got != 0.5 {
+		t.Errorf("unscaled rate = %v", got)
+	}
+}
+
+// fadeDeviationFraction scans and returns the fraction of samples whose
+// phase deviates from the noiseless model by more than threshold radians.
+func fadeDeviationFraction(t *testing.T, env *Environment, depth float64, seed int64) float64 {
+	t.Helper()
+	r, err := NewReader(env, ReaderConfig{RateHz: 100, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ant := &Antenna{PhysicalCenter: geom.V3(0, depth, 0)}
+	tag := &Tag{}
+	trj, err := traject.NewLinear(geom.V3(-1, 0, 0), geom.V3(1, 0, 0), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := r.Scan(ant, tag, trj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for _, s := range samples {
+		truth := rf.WrapPhase(rf.PhaseOfDistance(
+			ant.PhaseCenter().Dist(s.TagPos), env.Wavelength()))
+		if math.Abs(rf.WrapPhaseSigned(s.Phase-truth)) > 0.5 {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(samples))
+}
+
+func TestFadingCorruptsSamplesInBursts(t *testing.T) {
+	env, err := NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.PhaseNoiseStd = 0
+	env.Fading = &FadeModel{
+		RatePerMeter: 1.0, RefDistance: 0.8,
+		MinLength: 0.05, MaxLength: 0.15, MaxBias: 1.5,
+	}
+	frac := fadeDeviationFraction(t, env, 0.8, 3)
+	if frac == 0 {
+		t.Fatal("no fades occurred at rate 1/m over 2 m")
+	}
+	if frac > 0.6 {
+		t.Fatalf("fades corrupted %v of samples — too aggressive", frac)
+	}
+}
+
+func TestFadingGrowsWithDistance(t *testing.T) {
+	env, err := NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.PhaseNoiseStd = 0
+	env.Fading = &FadeModel{
+		RatePerMeter: 0.5, RefDistance: 0.8,
+		MinLength: 0.05, MaxLength: 0.15, MaxBias: 1.5,
+	}
+	// Average over several seeds to smooth the Poisson noise.
+	var near, far float64
+	const seeds = 10
+	for s := int64(0); s < seeds; s++ {
+		near += fadeDeviationFraction(t, env, 0.6, 100+s)
+		far += fadeDeviationFraction(t, env, 1.8, 100+s)
+	}
+	if far <= near {
+		t.Errorf("fade fraction did not grow with depth: near %v, far %v",
+			near/seeds, far/seeds)
+	}
+}
+
+func TestFadingNilIsNoop(t *testing.T) {
+	env, err := NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.PhaseNoiseStd = 0
+	if frac := fadeDeviationFraction(t, env, 0.8, 3); frac != 0 {
+		t.Errorf("clean environment deviated: %v", frac)
+	}
+}
+
+func TestFadingDoesNotBreakUnwrap(t *testing.T) {
+	// Steps into and out of fades must stay below π between consecutive
+	// samples, or unwrapping would slip by 2π and corrupt everything after.
+	env, err := NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.PhaseNoiseStd = 0.05
+	env.Fading = &FadeModel{
+		RatePerMeter: 1.5, RefDistance: 0.8,
+		MinLength: 0.05, MaxLength: 0.15, MaxBias: 1.5,
+	}
+	r, err := NewReader(env, ReaderConfig{RateHz: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ant := &Antenna{PhysicalCenter: geom.V3(0, 0.8, 0)}
+	trj, err := traject.NewLinear(geom.V3(-1, 0, 0), geom.V3(1, 0, 0), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := r.Scan(ant, &Tag{}, trj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := 0
+	for i := 1; i < len(samples); i++ {
+		d := math.Abs(rf.WrapPhaseSigned(samples[i].Phase - samples[i-1].Phase))
+		if d > math.Pi*0.95 {
+			big++
+		}
+	}
+	// Allow a tiny number of near-π steps from coincident fade boundaries
+	// plus noise, but nothing systematic.
+	if float64(big) > 0.005*float64(len(samples)) {
+		t.Errorf("%d of %d consecutive steps near π — unwrap hazard", big, len(samples))
+	}
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/core"
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/rf"
+	"github.com/rfid-lion/lion/internal/traject"
+)
+
+func fccHopPlan() *HopPlan {
+	return &HopPlan{
+		FrequenciesHz: []float64{902.75e6, 915.25e6, 927.25e6},
+		Dwell:         200 * time.Millisecond,
+	}
+}
+
+func TestHoppingReaderLabelsChannels(t *testing.T) {
+	env, err := NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(env, ReaderConfig{RateHz: 100, Seed: 1, Hopping: fccHopPlan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trj, err := traject.NewLinear(geom.V3(-0.5, 0, 0), geom.V3(0.5, 0, 0), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := r.Scan(&Antenna{PhysicalCenter: geom.V3(0, 0.8, 0)}, &Tag{}, trj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for _, s := range samples {
+		seen[s.Channel]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("channels used = %v, want 3", seen)
+	}
+	// Dwell 200 ms at 100 Hz → runs of 20 reads per channel.
+	runLen := 0
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Channel == samples[i-1].Channel {
+			runLen++
+			continue
+		}
+		if runLen < 15 {
+			t.Fatalf("channel run of %d reads, want ~20", runLen+1)
+		}
+		runLen = 0
+	}
+	wl := r.ChannelWavelengths()
+	if len(wl) != 3 {
+		t.Fatalf("wavelengths = %v", wl)
+	}
+	for c, l := range wl {
+		want := rf.SpeedOfLight / fccHopPlan().FrequenciesHz[c]
+		if d := l - want; d > 1e-9 || d < -1e-9 {
+			t.Errorf("channel %d wavelength = %v, want %v", c, l, want)
+		}
+	}
+}
+
+func TestHoppingValidation(t *testing.T) {
+	env, err := NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(env, ReaderConfig{
+		RateHz: 100, Hopping: &HopPlan{},
+	}); err == nil {
+		t.Error("empty hop plan accepted")
+	}
+	if _, err := NewReader(env, ReaderConfig{
+		RateHz: 100, Hopping: &HopPlan{FrequenciesHz: []float64{-1}},
+	}); err == nil {
+		t.Error("negative frequency accepted")
+	}
+}
+
+func TestFixedReaderReportsSingleChannel(t *testing.T) {
+	env, err := NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(env, DefaultReaderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := r.ChannelWavelengths()
+	if len(wl) != 1 || wl[0] != env.Wavelength() {
+		t.Errorf("fixed-carrier wavelengths = %v", wl)
+	}
+}
+
+// TestHoppedEndToEndLocalization drives the full multi-channel pipeline:
+// hopped scan → split by channel → per-channel unwrap → joint solve.
+func TestHoppedEndToEndLocalization(t *testing.T) {
+	env, err := NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.PhaseNoiseStd = 0.05
+	r, err := NewReader(env, ReaderConfig{RateHz: 100, Seed: 9, Hopping: fccHopPlan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ant := &Antenna{
+		PhysicalCenter:    geom.V3(0.1, 0.8, 0),
+		PhaseCenterOffset: geom.V3(0.02, -0.01, 0),
+		PhaseOffset:       1.7,
+	}
+	tag := &Tag{PhaseOffset: 0.4}
+	trj, err := traject.NewCircularXY(geom.V3(0, 0, 0), 0.3, 0.1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := r.Scan(ant, tag, trj)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Split raw samples by channel and preprocess each channel separately
+	// (phases are only continuous within a channel).
+	byChannel := map[int][]Sample{}
+	for _, s := range samples {
+		byChannel[s.Channel] = append(byChannel[s.Channel], s)
+	}
+	wl := r.ChannelWavelengths()
+	var chans []core.ChannelObservations
+	for c, chSamples := range byChannel {
+		obs, err := core.Preprocess(Positions(chSamples), Phases(chSamples), 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, core.ChannelObservations{Lambda: wl[c], Obs: obs})
+	}
+	sol, err := core.Locate2DMultiChannel(chans, 20, core.DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.Position.Dist(ant.PhaseCenter()); got > 0.03 {
+		t.Errorf("hopped end-to-end error %v m (got %v)", got, sol.Position)
+	}
+}

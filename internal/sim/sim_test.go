@@ -1,0 +1,337 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/rfid-lion/lion/internal/dsp"
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/rf"
+	"github.com/rfid-lion/lion/internal/traject"
+)
+
+func newTestEnv(t *testing.T) *Environment {
+	t.Helper()
+	env, err := NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func newTestReader(t *testing.T, env *Environment, cfg ReaderConfig) *Reader {
+	t.Helper()
+	r, err := NewReader(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAntennaPhaseCenter(t *testing.T) {
+	a := &Antenna{
+		PhysicalCenter:    geom.V3(1, 2, 3),
+		PhaseCenterOffset: geom.V3(0.02, -0.01, 0.03),
+	}
+	if got := a.PhaseCenter(); got != geom.V3(1.02, 1.99, 3.03) {
+		t.Errorf("PhaseCenter = %v", got)
+	}
+}
+
+func TestNewReaderValidation(t *testing.T) {
+	env := newTestEnv(t)
+	if _, err := NewReader(nil, DefaultReaderConfig()); err == nil {
+		t.Error("nil environment accepted")
+	}
+	if _, err := NewReader(env, ReaderConfig{RateHz: 0}); !errors.Is(err, ErrBadRate) {
+		t.Errorf("zero rate err = %v", err)
+	}
+	if _, err := NewReader(env, ReaderConfig{RateHz: 100, DropoutProb: 1}); !errors.Is(err, ErrBadDropout) {
+		t.Errorf("dropout=1 err = %v", err)
+	}
+	if _, err := NewReader(env, ReaderConfig{RateHz: 100, DropoutProb: -0.1}); !errors.Is(err, ErrBadDropout) {
+		t.Errorf("negative dropout err = %v", err)
+	}
+}
+
+func TestReadStaticNoiselessPhaseMatchesModel(t *testing.T) {
+	env := newTestEnv(t)
+	env.PhaseNoiseStd = 0
+	r := newTestReader(t, env, DefaultReaderConfig())
+	ant := &Antenna{PhysicalCenter: geom.V3(0, 1, 0), PhaseOffset: 0.7}
+	tag := &Tag{PhaseOffset: 0.3}
+	pos := geom.V3(0, 0, 0)
+	samples, err := r.ReadStatic(ant, tag, pos, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 10 {
+		t.Fatalf("len = %d", len(samples))
+	}
+	d := ant.PhaseCenter().Dist(pos)
+	want := rf.WrapPhase(rf.PhaseOfDistance(d, env.Wavelength()) + 0.7 + 0.3)
+	for _, s := range samples {
+		if math.Abs(s.Phase-want) > 1e-9 {
+			t.Fatalf("phase = %v, want %v", s.Phase, want)
+		}
+		if s.TagPos != pos {
+			t.Fatalf("TagPos = %v", s.TagPos)
+		}
+	}
+}
+
+func TestPhaseCenterDisplacementShiftsValley(t *testing.T) {
+	// Reproduces the Fig. 2 effect in miniature: sweeping the tag past the
+	// antenna, the minimum of the unwrapped phase appears at the projection
+	// of the *phase* center, not the physical center.
+	env := newTestEnv(t)
+	env.PhaseNoiseStd = 0
+	r := newTestReader(t, env, DefaultReaderConfig())
+	ant := &Antenna{
+		PhysicalCenter:    geom.V3(0, 0.65, 0),
+		PhaseCenterOffset: geom.V3(0.025, 0, 0), // 2.5 cm along the sweep
+	}
+	tag := &Tag{}
+	trj, err := traject.NewLinear(geom.V3(-0.5, 0, 0), geom.V3(0.5, 0, 0), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := r.Scan(ant, tag, trj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	un := dsp.Unwrap(Phases(samples))
+	minI := 0
+	for i, v := range un {
+		if v < un[minI] {
+			minI = i
+		}
+	}
+	valleyX := samples[minI].TagPos.X
+	if math.Abs(valleyX-0.025) > 0.01 {
+		t.Errorf("phase valley at x=%v, want ~0.025 (phase center)", valleyX)
+	}
+}
+
+func TestScanSampleCountMatchesRateAndDuration(t *testing.T) {
+	env := newTestEnv(t)
+	r := newTestReader(t, env, ReaderConfig{RateHz: 50, Seed: 1})
+	trj, err := traject.NewLinear(geom.V3(0, 0, 0), geom.V3(1, 0, 0), 0.1) // 10 s
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := r.Scan(&Antenna{PhysicalCenter: geom.V3(0, 1, 0)}, &Tag{}, trj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(samples); got < 499 || got > 502 {
+		t.Errorf("sample count = %d, want ~501", got)
+	}
+	// Times strictly increasing.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Time <= samples[i-1].Time {
+			t.Fatal("times not increasing")
+		}
+	}
+}
+
+func TestScanDropout(t *testing.T) {
+	env := newTestEnv(t)
+	full := newTestReader(t, env, ReaderConfig{RateHz: 100, Seed: 1})
+	lossy := newTestReader(t, env, ReaderConfig{RateHz: 100, DropoutProb: 0.5, Seed: 1})
+	trj, err := traject.NewLinear(geom.V3(0, 0, 0), geom.V3(1, 0, 0), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ant, tag := &Antenna{PhysicalCenter: geom.V3(0, 1, 0)}, &Tag{}
+	fs, err := full.Scan(ant, tag, trj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := lossy.Scan(ant, tag, trj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(ls)) / float64(len(fs))
+	if ratio < 0.35 || ratio > 0.65 {
+		t.Errorf("dropout ratio = %v, want ~0.5", ratio)
+	}
+}
+
+func TestScanSegmentLabels(t *testing.T) {
+	env := newTestEnv(t)
+	r := newTestReader(t, env, DefaultReaderConfig())
+	scan, err := traject.NewThreeLineScan(traject.ThreeLineConfig{
+		XMin: -0.3, XMax: 0.3, YSpacing: 0.2, ZSpacing: 0.2, Speed: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := r.Scan(&Antenna{PhysicalCenter: geom.V3(0, 0.8, 0)}, &Tag{}, scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := FilterSegment(samples, traject.LineL1)
+	l2 := FilterSegment(samples, traject.LineL2)
+	l3 := FilterSegment(samples, traject.LineL3)
+	if len(l1) == 0 || len(l2) == 0 || len(l3) == 0 {
+		t.Fatalf("segment counts: %d %d %d", len(l1), len(l2), len(l3))
+	}
+	for _, s := range l2 {
+		if math.Abs(s.TagPos.Z-0.2) > 1e-9 {
+			t.Fatalf("L2 sample off line: %v", s.TagPos)
+		}
+	}
+}
+
+func TestScanValidation(t *testing.T) {
+	env := newTestEnv(t)
+	r := newTestReader(t, env, DefaultReaderConfig())
+	trj, err := traject.NewLinear(geom.V3(0, 0, 0), geom.V3(1, 0, 0), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Scan(nil, &Tag{}, trj); !errors.Is(err, ErrNilDevice) {
+		t.Errorf("nil antenna err = %v", err)
+	}
+	if _, err := r.Scan(&Antenna{}, nil, trj); !errors.Is(err, ErrNilDevice) {
+		t.Errorf("nil tag err = %v", err)
+	}
+	if _, err := r.Scan(&Antenna{}, &Tag{}, nil); err == nil {
+		t.Error("nil trajectory accepted")
+	}
+	if _, err := r.ReadStatic(&Antenna{}, &Tag{}, geom.Vec3{}, 0); err == nil {
+		t.Error("zero read count accepted")
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	env := newTestEnv(t)
+	env.PhaseNoiseStd = 0.1
+	r := newTestReader(t, env, ReaderConfig{RateHz: 100, Seed: 42})
+	ant := &Antenna{PhysicalCenter: geom.V3(0, 1, 0)}
+	tag := &Tag{}
+	samples, err := r.ReadStatic(ant, tag, geom.V3(0, 0, 0), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase scatter around the true value should have std ≈ 0.1 rad.
+	d := ant.PhaseCenter().Dist(geom.V3(0, 0, 0))
+	truth := rf.WrapPhase(rf.PhaseOfDistance(d, env.Wavelength()))
+	var devs []float64
+	for _, s := range samples {
+		devs = append(devs, rf.WrapPhaseSigned(s.Phase-truth))
+	}
+	var m float64
+	for _, v := range devs {
+		m += v
+	}
+	m /= float64(len(devs))
+	var varSum float64
+	for _, v := range devs {
+		varSum += (v - m) * (v - m)
+	}
+	std := math.Sqrt(varSum / float64(len(devs)))
+	if math.Abs(std-0.1) > 0.01 {
+		t.Errorf("noise std = %v, want ~0.1", std)
+	}
+	if math.Abs(m) > 0.01 {
+		t.Errorf("noise mean = %v, want ~0", m)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	env := newTestEnv(t)
+	mk := func() []Sample {
+		r := newTestReader(t, env, ReaderConfig{RateHz: 100, Seed: 7})
+		trj, err := traject.NewLinear(geom.V3(0, 0, 0), geom.V3(0.5, 0, 0), 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := r.Scan(&Antenna{PhysicalCenter: geom.V3(0, 1, 0)}, &Tag{}, trj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Phase != b[i].Phase {
+			t.Fatal("same seed produced different phases")
+		}
+	}
+}
+
+func TestDistanceDependentNoise(t *testing.T) {
+	env := newTestEnv(t)
+	env.NoiseDistanceRef = 1.0
+	env.PhaseNoiseStd = 0.05
+	r := newTestReader(t, env, ReaderConfig{RateHz: 100, Seed: 3})
+	ant := &Antenna{PhysicalCenter: geom.V3(0, 0, 0)}
+	tag := &Tag{}
+	spread := func(depth float64) float64 {
+		samples, err := r.ReadStatic(ant, tag, geom.V3(0, depth, 0), 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := rf.WrapPhase(rf.PhaseOfDistance(depth, env.Wavelength()))
+		var s2 float64
+		for _, s := range samples {
+			d := rf.WrapPhaseSigned(s.Phase - truth)
+			s2 += d * d
+		}
+		return math.Sqrt(s2 / float64(len(samples)))
+	}
+	near, far := spread(0.5), spread(2.0)
+	if far < 1.5*near {
+		t.Errorf("noise did not grow with distance: near %v, far %v", near, far)
+	}
+}
+
+func TestMultipathEnvironmentBiasesPhase(t *testing.T) {
+	clean := newTestEnv(t)
+	clean.PhaseNoiseStd = 0
+	dirty := newTestEnv(t)
+	dirty.PhaseNoiseStd = 0
+	dirty.AddReflector(rf.Reflector{
+		Plane: geom.Plane3{C: 1, D: -1}, Coeff: 0.4, // floor at z = −1
+	})
+	ant := &Antenna{PhysicalCenter: geom.V3(0, 1, 0)}
+	tag := &Tag{}
+	rc := newTestReader(t, clean, DefaultReaderConfig())
+	rd := newTestReader(t, dirty, DefaultReaderConfig())
+	sc, err := rc.ReadStatic(ant, tag, geom.V3(0, 0, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := rd.ReadStatic(ant, tag, geom.V3(0, 0, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc[0].Phase == sd[0].Phase {
+		t.Error("reflector did not alter the reported phase")
+	}
+	if sd[0].RSSI == sc[0].RSSI {
+		t.Error("reflector did not alter RSSI")
+	}
+}
+
+func TestHelperExtractors(t *testing.T) {
+	samples := []Sample{
+		{Phase: 1, TagPos: geom.V3(1, 0, 0), Segment: 1},
+		{Phase: 2, TagPos: geom.V3(2, 0, 0), Segment: 2},
+	}
+	if got := Phases(samples); got[0] != 1 || got[1] != 2 {
+		t.Errorf("Phases = %v", got)
+	}
+	if got := Positions(samples); got[1] != geom.V3(2, 0, 0) {
+		t.Errorf("Positions = %v", got)
+	}
+	if got := FilterSegment(samples, 2); len(got) != 1 || got[0].Phase != 2 {
+		t.Errorf("FilterSegment = %v", got)
+	}
+}

@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random source for reproducible simulations. It
+// wraps math/rand with domain-specific samplers. RNG is not safe for
+// concurrent use; create one per goroutine.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Uniform returns a uniform sample in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Normal returns a Gaussian sample with the given mean and standard
+// deviation.
+func (g *RNG) Normal(mean, std float64) float64 {
+	return mean + std*g.r.NormFloat64()
+}
+
+// Intn returns a uniform integer in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Angle returns a uniform angle in [0, 2π).
+func (g *RNG) Angle() float64 { return g.r.Float64() * 2 * math.Pi }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Fork returns a new RNG deterministically derived from this one. Use it to
+// give each simulated device an independent but reproducible stream.
+func (g *RNG) Fork() *RNG { return NewRNG(g.r.Int63()) }

@@ -1,0 +1,167 @@
+package traject
+
+import (
+	"errors"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/geom"
+)
+
+// Line labels for ThreeLineScan.SegmentAt. Transfer moves between scan lines
+// are labelled LineTransfer.
+const (
+	LineTransfer = 0
+	LineL1       = 1
+	LineL2       = 2
+	LineL3       = 3
+)
+
+// ThreeLineScan is the paper's Fig. 11 scanning pattern for 3-D antenna
+// localization: three parallel straight lines along the x-axis,
+//
+//	L1: (x, 0, 0)        for x in [XMin, XMax]
+//	L2: (x, 0, ZSpacing) — offset along z
+//	L3: (x, −YSpacing, 0) — offset along −y
+//
+// The tag traverses L1, transfers to L2, traverses L2 backwards, transfers
+// to L3, and traverses L3 forwards, so the phase profile stays continuous
+// for unwrapping (Sec. IV-B). The combination yields displacement diversity
+// along all three axes, which is what makes the structured coefficient
+// matrix of Eq. (11) full rank.
+type ThreeLineScan struct {
+	poly *Polyline
+	// Per-edge labels: which scan line each polyline edge belongs to.
+	edgeLabels []int
+
+	xMin, xMax float64
+	ySpacing   float64
+	zSpacing   float64
+}
+
+var _ Segmented = (*ThreeLineScan)(nil)
+
+// ThreeLineConfig parameterises a ThreeLineScan.
+type ThreeLineConfig struct {
+	XMin, XMax float64 // scan extent along x, metres
+	YSpacing   float64 // y_o: spacing between L1 and L3, metres
+	ZSpacing   float64 // z_o: spacing between L1 and L2, metres
+	Speed      float64 // tag speed, m/s
+}
+
+// NewThreeLineScan builds the three-line trajectory.
+func NewThreeLineScan(cfg ThreeLineConfig) (*ThreeLineScan, error) {
+	if cfg.XMax <= cfg.XMin {
+		return nil, errors.New("traject: XMax must exceed XMin")
+	}
+	if cfg.YSpacing <= 0 || cfg.ZSpacing <= 0 {
+		return nil, errors.New("traject: line spacings must be positive")
+	}
+	if cfg.Speed <= 0 {
+		return nil, ErrBadSpeed
+	}
+	pts := []geom.Vec3{
+		{X: cfg.XMin, Y: 0, Z: 0},             // L1 start
+		{X: cfg.XMax, Y: 0, Z: 0},             // L1 end
+		{X: cfg.XMax, Y: 0, Z: cfg.ZSpacing},  // transfer up to L2
+		{X: cfg.XMin, Y: 0, Z: cfg.ZSpacing},  // L2 traversed backwards
+		{X: cfg.XMin, Y: -cfg.YSpacing, Z: 0}, // transfer down/over to L3
+		{X: cfg.XMax, Y: -cfg.YSpacing, Z: 0}, // L3 end
+	}
+	poly, err := NewPolyline(pts, cfg.Speed)
+	if err != nil {
+		return nil, err
+	}
+	return &ThreeLineScan{
+		poly:       poly,
+		edgeLabels: []int{LineL1, LineTransfer, LineL2, LineTransfer, LineL3},
+		xMin:       cfg.XMin,
+		xMax:       cfg.XMax,
+		ySpacing:   cfg.YSpacing,
+		zSpacing:   cfg.ZSpacing,
+	}, nil
+}
+
+// Position implements Trajectory.
+func (s *ThreeLineScan) Position(t time.Duration) geom.Vec3 {
+	return s.poly.Position(t)
+}
+
+// Duration implements Trajectory.
+func (s *ThreeLineScan) Duration() time.Duration { return s.poly.Duration() }
+
+// SegmentAt implements Segmented: it returns LineL1/LineL2/LineL3 while the
+// tag is on a scan line, or LineTransfer during a connecting move.
+func (s *ThreeLineScan) SegmentAt(t time.Duration) int {
+	return s.edgeLabels[s.poly.SegmentIndexAt(t)]
+}
+
+// XRange returns the scan extent along x.
+func (s *ThreeLineScan) XRange() (xMin, xMax float64) { return s.xMin, s.xMax }
+
+// YSpacing returns y_o, the L1–L3 spacing.
+func (s *ThreeLineScan) YSpacing() float64 { return s.ySpacing }
+
+// ZSpacing returns z_o, the L1–L2 spacing.
+func (s *ThreeLineScan) ZSpacing() float64 { return s.zSpacing }
+
+// TwoLineScan is the reduced scanning pattern used for the 3-D
+// lower-dimension experiments (Fig. 14a): the tag traverses L1 and then a
+// second parallel line offset along −y, staying in the z = 0 plane. The
+// missing z-coordinate is recovered from the reference distance d_r.
+type TwoLineScan struct {
+	poly       *Polyline
+	edgeLabels []int
+	xMin, xMax float64
+	ySpacing   float64
+}
+
+var _ Segmented = (*TwoLineScan)(nil)
+
+// NewTwoLineScan builds the two-line planar trajectory.
+func NewTwoLineScan(xMin, xMax, ySpacing, speed float64) (*TwoLineScan, error) {
+	if xMax <= xMin {
+		return nil, errors.New("traject: XMax must exceed XMin")
+	}
+	if ySpacing <= 0 {
+		return nil, errors.New("traject: ySpacing must be positive")
+	}
+	if speed <= 0 {
+		return nil, ErrBadSpeed
+	}
+	pts := []geom.Vec3{
+		{X: xMin, Y: 0, Z: 0},
+		{X: xMax, Y: 0, Z: 0},
+		{X: xMax, Y: -ySpacing, Z: 0},
+		{X: xMin, Y: -ySpacing, Z: 0},
+	}
+	poly, err := NewPolyline(pts, speed)
+	if err != nil {
+		return nil, err
+	}
+	return &TwoLineScan{
+		poly:       poly,
+		edgeLabels: []int{LineL1, LineTransfer, LineL2},
+		xMin:       xMin,
+		xMax:       xMax,
+		ySpacing:   ySpacing,
+	}, nil
+}
+
+// Position implements Trajectory.
+func (s *TwoLineScan) Position(t time.Duration) geom.Vec3 {
+	return s.poly.Position(t)
+}
+
+// Duration implements Trajectory.
+func (s *TwoLineScan) Duration() time.Duration { return s.poly.Duration() }
+
+// SegmentAt implements Segmented.
+func (s *TwoLineScan) SegmentAt(t time.Duration) int {
+	return s.edgeLabels[s.poly.SegmentIndexAt(t)]
+}
+
+// XRange returns the scan extent along x.
+func (s *TwoLineScan) XRange() (xMin, xMax float64) { return s.xMin, s.xMax }
+
+// YSpacing returns the spacing between the two lines.
+func (s *TwoLineScan) YSpacing() float64 { return s.ySpacing }

@@ -1,0 +1,251 @@
+// Package traject defines the known tag trajectories that LION scans along:
+// straight lines, polylines, the three-line 3-D scan of the paper's Fig. 11,
+// and circular turntable motion. A trajectory maps elapsed time to the tag's
+// ground-truth position; the simulator samples it at the reader's rate.
+package traject
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/geom"
+)
+
+// Errors returned by trajectory constructors.
+var (
+	ErrBadSpeed  = errors.New("traject: speed must be positive")
+	ErrTooShort  = errors.New("traject: trajectory needs at least two distinct points")
+	ErrBadRadius = errors.New("traject: radius must be positive")
+)
+
+// Trajectory maps elapsed time to the tag position. Implementations must be
+// defined for all t in [0, Duration()]; times outside the range clamp to the
+// endpoints.
+type Trajectory interface {
+	// Position returns the tag position at elapsed time t.
+	Position(t time.Duration) geom.Vec3
+	// Duration returns the total scan time.
+	Duration() time.Duration
+}
+
+// Segmented is implemented by trajectories made of labelled segments, such
+// as the three-line scan. Segment labels start at 1; label 0 marks transfer
+// moves between scan lines.
+type Segmented interface {
+	Trajectory
+	// SegmentAt returns the label of the segment active at elapsed time t.
+	SegmentAt(t time.Duration) int
+}
+
+// Linear is constant-speed motion along a straight segment.
+type Linear struct {
+	seg   geom.Segment3
+	speed float64 // m/s
+	dur   time.Duration
+}
+
+var _ Trajectory = (*Linear)(nil)
+
+// NewLinear returns a linear trajectory from one point to another at the
+// given speed in m/s.
+func NewLinear(from, to geom.Vec3, speed float64) (*Linear, error) {
+	if speed <= 0 {
+		return nil, ErrBadSpeed
+	}
+	length := from.Dist(to)
+	if length == 0 {
+		return nil, ErrTooShort
+	}
+	return &Linear{
+		seg:   geom.Segment3{From: from, To: to},
+		speed: speed,
+		dur:   time.Duration(length / speed * float64(time.Second)),
+	}, nil
+}
+
+// Position implements Trajectory.
+func (l *Linear) Position(t time.Duration) geom.Vec3 {
+	if t <= 0 {
+		return l.seg.From
+	}
+	if t >= l.dur {
+		return l.seg.To
+	}
+	return l.seg.At(float64(t) / float64(l.dur))
+}
+
+// Duration implements Trajectory.
+func (l *Linear) Duration() time.Duration { return l.dur }
+
+// Speed returns the tag speed in m/s.
+func (l *Linear) Speed() float64 { return l.speed }
+
+// Polyline is constant-speed motion along a sequence of waypoints.
+type Polyline struct {
+	points []geom.Vec3
+	cum    []float64 // cumulative arc length at each waypoint
+	speed  float64
+	total  float64
+}
+
+var _ Trajectory = (*Polyline)(nil)
+
+// NewPolyline returns a polyline trajectory visiting points in order at the
+// given speed in m/s. Consecutive duplicate points are allowed and skipped.
+func NewPolyline(points []geom.Vec3, speed float64) (*Polyline, error) {
+	if speed <= 0 {
+		return nil, ErrBadSpeed
+	}
+	if len(points) < 2 {
+		return nil, ErrTooShort
+	}
+	pts := make([]geom.Vec3, len(points))
+	copy(pts, points)
+	cum := make([]float64, len(pts))
+	for i := 1; i < len(pts); i++ {
+		cum[i] = cum[i-1] + pts[i-1].Dist(pts[i])
+	}
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return nil, ErrTooShort
+	}
+	return &Polyline{points: pts, cum: cum, speed: speed, total: total}, nil
+}
+
+// Position implements Trajectory.
+func (p *Polyline) Position(t time.Duration) geom.Vec3 {
+	s := p.speed * t.Seconds()
+	if s <= 0 {
+		return p.points[0]
+	}
+	if s >= p.total {
+		return p.points[len(p.points)-1]
+	}
+	i := p.segmentIndex(s)
+	segLen := p.cum[i+1] - p.cum[i]
+	frac := (s - p.cum[i]) / segLen
+	return p.points[i].Lerp(p.points[i+1], frac)
+}
+
+// segmentIndex returns the index i such that cum[i] <= s < cum[i+1],
+// skipping zero-length segments.
+func (p *Polyline) segmentIndex(s float64) int {
+	lo, hi := 0, len(p.cum)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid] <= s {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	for lo < len(p.cum)-2 && p.cum[lo+1] == p.cum[lo] {
+		lo++
+	}
+	return lo
+}
+
+// SegmentIndexAt returns the zero-based index of the polyline edge active at
+// elapsed time t.
+func (p *Polyline) SegmentIndexAt(t time.Duration) int {
+	s := p.speed * t.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	if s >= p.total {
+		return len(p.points) - 2
+	}
+	return p.segmentIndex(s)
+}
+
+// Duration implements Trajectory.
+func (p *Polyline) Duration() time.Duration {
+	return time.Duration(p.total / p.speed * float64(time.Second))
+}
+
+// Length returns the total arc length in metres.
+func (p *Polyline) Length() float64 { return p.total }
+
+// Circular is constant-speed motion around a circle, modelling the paper's
+// turntable scan (Sec. V-F-2). The circle lies in the plane spanned by two
+// orthonormal axes U and V through Center.
+type Circular struct {
+	center     geom.Vec3
+	radius     float64
+	u, v       geom.Vec3
+	angSpeed   float64 // rad/s
+	startAngle float64
+	turns      float64
+}
+
+var _ Trajectory = (*Circular)(nil)
+
+// NewCircularXY returns a circular trajectory in a z = const plane, starting
+// at startAngle (radians from the +x axis) and covering turns full
+// revolutions at the given tangential speed in m/s.
+func NewCircularXY(center geom.Vec3, radius, speed, startAngle, turns float64) (*Circular, error) {
+	return NewCircular(center, radius, geom.V3(1, 0, 0), geom.V3(0, 1, 0),
+		speed, startAngle, turns)
+}
+
+// NewCircular returns a circular trajectory in the plane spanned by u and v
+// (which must be non-zero and not parallel; they are orthonormalised).
+func NewCircular(center geom.Vec3, radius float64, u, v geom.Vec3, speed, startAngle, turns float64) (*Circular, error) {
+	if radius <= 0 {
+		return nil, ErrBadRadius
+	}
+	if speed <= 0 {
+		return nil, ErrBadSpeed
+	}
+	if turns <= 0 {
+		return nil, errors.New("traject: turns must be positive")
+	}
+	uu := u.Unit()
+	if uu.Norm() == 0 {
+		return nil, errors.New("traject: u axis must be non-zero")
+	}
+	// Gram-Schmidt v against u.
+	vv := v.Sub(uu.Scale(v.Dot(uu)))
+	if vv.Norm() == 0 {
+		return nil, errors.New("traject: v axis parallel to u")
+	}
+	return &Circular{
+		center:     center,
+		radius:     radius,
+		u:          uu,
+		v:          vv.Unit(),
+		angSpeed:   speed / radius,
+		startAngle: startAngle,
+		turns:      turns,
+	}, nil
+}
+
+// Position implements Trajectory.
+func (c *Circular) Position(t time.Duration) geom.Vec3 {
+	ts := t.Seconds()
+	maxT := c.Duration().Seconds()
+	if ts < 0 {
+		ts = 0
+	}
+	if ts > maxT {
+		ts = maxT
+	}
+	ang := c.startAngle + c.angSpeed*ts
+	s, cs := math.Sincos(ang)
+	return c.center.
+		Add(c.u.Scale(c.radius * cs)).
+		Add(c.v.Scale(c.radius * s))
+}
+
+// Duration implements Trajectory.
+func (c *Circular) Duration() time.Duration {
+	total := c.turns * 2 * math.Pi / c.angSpeed
+	return time.Duration(total * float64(time.Second))
+}
+
+// Radius returns the circle radius.
+func (c *Circular) Radius() float64 { return c.radius }
+
+// Center returns the circle center.
+func (c *Circular) Center() geom.Vec3 { return c.center }

@@ -1,0 +1,307 @@
+package traject
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/geom"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b geom.Vec3, tol float64) bool {
+	return almostEq(a.X, b.X, tol) && almostEq(a.Y, b.Y, tol) && almostEq(a.Z, b.Z, tol)
+}
+
+func TestLinearEndpointsAndMidpoint(t *testing.T) {
+	l, err := NewLinear(geom.V3(0, 0, 0), geom.V3(1, 0, 0), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Duration(); got != 10*time.Second {
+		t.Errorf("Duration = %v", got)
+	}
+	if got := l.Position(0); got != geom.V3(0, 0, 0) {
+		t.Errorf("start = %v", got)
+	}
+	if got := l.Position(10 * time.Second); got != geom.V3(1, 0, 0) {
+		t.Errorf("end = %v", got)
+	}
+	if got := l.Position(5 * time.Second); !vecAlmostEq(got, geom.V3(0.5, 0, 0), 1e-9) {
+		t.Errorf("mid = %v", got)
+	}
+	// Clamping outside the range.
+	if got := l.Position(-time.Second); got != geom.V3(0, 0, 0) {
+		t.Errorf("before start = %v", got)
+	}
+	if got := l.Position(time.Hour); got != geom.V3(1, 0, 0) {
+		t.Errorf("after end = %v", got)
+	}
+	if got := l.Speed(); got != 0.1 {
+		t.Errorf("Speed = %v", got)
+	}
+}
+
+func TestLinearValidation(t *testing.T) {
+	if _, err := NewLinear(geom.V3(0, 0, 0), geom.V3(1, 0, 0), 0); !errors.Is(err, ErrBadSpeed) {
+		t.Errorf("zero speed err = %v", err)
+	}
+	if _, err := NewLinear(geom.V3(1, 1, 1), geom.V3(1, 1, 1), 1); !errors.Is(err, ErrTooShort) {
+		t.Errorf("degenerate err = %v", err)
+	}
+}
+
+func TestPolylineTraversal(t *testing.T) {
+	p, err := NewPolyline([]geom.Vec3{
+		{X: 0}, {X: 1}, {X: 1, Y: 1},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Length(); got != 2 {
+		t.Errorf("Length = %v", got)
+	}
+	if got := p.Duration(); got != 2*time.Second {
+		t.Errorf("Duration = %v", got)
+	}
+	if got := p.Position(500 * time.Millisecond); !vecAlmostEq(got, geom.V3(0.5, 0, 0), 1e-9) {
+		t.Errorf("first edge pos = %v", got)
+	}
+	if got := p.Position(1500 * time.Millisecond); !vecAlmostEq(got, geom.V3(1, 0.5, 0), 1e-9) {
+		t.Errorf("second edge pos = %v", got)
+	}
+	if got := p.SegmentIndexAt(500 * time.Millisecond); got != 0 {
+		t.Errorf("segment at 0.5s = %d", got)
+	}
+	if got := p.SegmentIndexAt(1500 * time.Millisecond); got != 1 {
+		t.Errorf("segment at 1.5s = %d", got)
+	}
+	if got := p.SegmentIndexAt(time.Hour); got != 1 {
+		t.Errorf("segment past end = %d", got)
+	}
+}
+
+func TestPolylineValidation(t *testing.T) {
+	if _, err := NewPolyline([]geom.Vec3{{X: 1}}, 1); !errors.Is(err, ErrTooShort) {
+		t.Errorf("single point err = %v", err)
+	}
+	if _, err := NewPolyline([]geom.Vec3{{X: 1}, {X: 1}}, 1); !errors.Is(err, ErrTooShort) {
+		t.Errorf("zero-length err = %v", err)
+	}
+	if _, err := NewPolyline([]geom.Vec3{{}, {X: 1}}, -1); !errors.Is(err, ErrBadSpeed) {
+		t.Errorf("negative speed err = %v", err)
+	}
+}
+
+func TestPolylineDefensiveCopy(t *testing.T) {
+	pts := []geom.Vec3{{X: 0}, {X: 1}}
+	p, err := NewPolyline(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts[0] = geom.V3(99, 99, 99)
+	if got := p.Position(0); got != geom.V3(0, 0, 0) {
+		t.Error("polyline aliased caller slice")
+	}
+}
+
+func TestCircularXY(t *testing.T) {
+	c, err := NewCircularXY(geom.V3(0, 0, 0.5), 0.3, 0.1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starts at angle 0: (r, 0, z).
+	if got := c.Position(0); !vecAlmostEq(got, geom.V3(0.3, 0, 0.5), 1e-9) {
+		t.Errorf("start = %v", got)
+	}
+	// Every position is on the circle.
+	for i := 0; i <= 20; i++ {
+		frac := float64(i) / 20
+		pos := c.Position(time.Duration(frac * float64(c.Duration())))
+		d := pos.Sub(c.Center()).Norm()
+		if !almostEq(d, 0.3, 1e-9) {
+			t.Errorf("at %v: radius = %v", frac, d)
+		}
+		if !almostEq(pos.Z, 0.5, 1e-12) {
+			t.Errorf("left the plane: z = %v", pos.Z)
+		}
+	}
+	// One full turn returns to the start.
+	if got := c.Position(c.Duration()); !vecAlmostEq(got, c.Position(0), 1e-6) {
+		t.Errorf("after one turn = %v", got)
+	}
+	// Duration = circumference / speed.
+	want := 2 * math.Pi * 0.3 / 0.1
+	if got := c.Duration().Seconds(); !almostEq(got, want, 1e-6) {
+		t.Errorf("Duration = %v s, want %v", got, want)
+	}
+}
+
+func TestCircularValidation(t *testing.T) {
+	if _, err := NewCircularXY(geom.Vec3{}, 0, 1, 0, 1); !errors.Is(err, ErrBadRadius) {
+		t.Errorf("zero radius err = %v", err)
+	}
+	if _, err := NewCircularXY(geom.Vec3{}, 1, 0, 0, 1); !errors.Is(err, ErrBadSpeed) {
+		t.Errorf("zero speed err = %v", err)
+	}
+	if _, err := NewCircularXY(geom.Vec3{}, 1, 1, 0, 0); err == nil {
+		t.Error("zero turns accepted")
+	}
+	if _, err := NewCircular(geom.Vec3{}, 1, geom.V3(1, 0, 0), geom.V3(2, 0, 0), 1, 0, 1); err == nil {
+		t.Error("parallel axes accepted")
+	}
+	if _, err := NewCircular(geom.Vec3{}, 1, geom.Vec3{}, geom.V3(0, 1, 0), 1, 0, 1); err == nil {
+		t.Error("zero u axis accepted")
+	}
+}
+
+func TestCircularGramSchmidt(t *testing.T) {
+	// Non-orthogonal axes are orthonormalised; the path must stay a circle.
+	c, err := NewCircular(geom.V3(1, 1, 1), 0.5,
+		geom.V3(1, 0, 0), geom.V3(1, 1, 0), 0.2, 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 10; i++ {
+		pos := c.Position(time.Duration(float64(i) / 10 * float64(c.Duration())))
+		if d := pos.Sub(geom.V3(1, 1, 1)).Norm(); !almostEq(d, 0.5, 1e-9) {
+			t.Errorf("radius drifted: %v", d)
+		}
+	}
+}
+
+func TestThreeLineScanGeometry(t *testing.T) {
+	scan, err := NewThreeLineScan(ThreeLineConfig{
+		XMin: -0.4, XMax: 0.4, YSpacing: 0.2, ZSpacing: 0.2, Speed: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scan.Position(0); got != geom.V3(-0.4, 0, 0) {
+		t.Errorf("start = %v", got)
+	}
+	end := scan.Position(scan.Duration())
+	if !vecAlmostEq(end, geom.V3(0.4, -0.2, 0), 1e-9) {
+		t.Errorf("end = %v", end)
+	}
+	// Visit every label over the run.
+	seen := map[int]bool{}
+	n := 1000
+	for i := 0; i <= n; i++ {
+		tt := time.Duration(float64(i) / float64(n) * float64(scan.Duration()))
+		label := scan.SegmentAt(tt)
+		seen[label] = true
+		pos := scan.Position(tt)
+		switch label {
+		case LineL1:
+			if !almostEq(pos.Y, 0, 1e-9) || !almostEq(pos.Z, 0, 1e-9) {
+				t.Fatalf("L1 point off line: %v", pos)
+			}
+		case LineL2:
+			if !almostEq(pos.Y, 0, 1e-9) || !almostEq(pos.Z, 0.2, 1e-9) {
+				t.Fatalf("L2 point off line: %v", pos)
+			}
+		case LineL3:
+			if !almostEq(pos.Y, -0.2, 1e-9) || !almostEq(pos.Z, 0, 1e-9) {
+				t.Fatalf("L3 point off line: %v", pos)
+			}
+		}
+	}
+	for _, label := range []int{LineL1, LineL2, LineL3, LineTransfer} {
+		if !seen[label] {
+			t.Errorf("label %d never seen", label)
+		}
+	}
+	xMin, xMax := scan.XRange()
+	if xMin != -0.4 || xMax != 0.4 {
+		t.Errorf("XRange = %v, %v", xMin, xMax)
+	}
+	if scan.YSpacing() != 0.2 || scan.ZSpacing() != 0.2 {
+		t.Errorf("spacings = %v, %v", scan.YSpacing(), scan.ZSpacing())
+	}
+}
+
+func TestThreeLineScanValidation(t *testing.T) {
+	base := ThreeLineConfig{XMin: -1, XMax: 1, YSpacing: 0.2, ZSpacing: 0.2, Speed: 0.1}
+	bad := base
+	bad.XMax = -1
+	if _, err := NewThreeLineScan(bad); err == nil {
+		t.Error("XMax <= XMin accepted")
+	}
+	bad = base
+	bad.YSpacing = 0
+	if _, err := NewThreeLineScan(bad); err == nil {
+		t.Error("zero YSpacing accepted")
+	}
+	bad = base
+	bad.Speed = 0
+	if _, err := NewThreeLineScan(bad); !errors.Is(err, ErrBadSpeed) {
+		t.Error("zero speed accepted")
+	}
+}
+
+func TestTwoLineScan(t *testing.T) {
+	scan, err := NewTwoLineScan(-0.5, 0.5, 0.2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scan.Position(0); got != geom.V3(-0.5, 0, 0) {
+		t.Errorf("start = %v", got)
+	}
+	// Everything stays in the z = 0 plane.
+	n := 200
+	labels := map[int]bool{}
+	for i := 0; i <= n; i++ {
+		tt := time.Duration(float64(i) / float64(n) * float64(scan.Duration()))
+		pos := scan.Position(tt)
+		if !almostEq(pos.Z, 0, 1e-12) {
+			t.Fatalf("left plane: %v", pos)
+		}
+		labels[scan.SegmentAt(tt)] = true
+	}
+	if !labels[LineL1] || !labels[LineL2] {
+		t.Errorf("labels seen: %v", labels)
+	}
+	if scan.YSpacing() != 0.2 {
+		t.Errorf("YSpacing = %v", scan.YSpacing())
+	}
+	xMin, xMax := scan.XRange()
+	if xMin != -0.5 || xMax != 0.5 {
+		t.Errorf("XRange = %v %v", xMin, xMax)
+	}
+}
+
+func TestTwoLineScanValidation(t *testing.T) {
+	if _, err := NewTwoLineScan(1, -1, 0.2, 0.1); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := NewTwoLineScan(-1, 1, 0, 0.1); err == nil {
+		t.Error("zero spacing accepted")
+	}
+	if _, err := NewTwoLineScan(-1, 1, 0.2, 0); !errors.Is(err, ErrBadSpeed) {
+		t.Error("zero speed accepted")
+	}
+}
+
+func TestPolylinePositionMonotoneArcLength(t *testing.T) {
+	p, err := NewPolyline([]geom.Vec3{
+		{X: 0}, {X: 1}, {X: 1, Y: 1}, {X: 0, Y: 1}, {},
+	}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arc length travelled between consecutive samples should equal
+	// speed × dt everywhere (constant speed property).
+	prev := p.Position(0)
+	dt := 10 * time.Millisecond
+	for tt := dt; tt <= p.Duration(); tt += dt {
+		cur := p.Position(tt)
+		step := cur.Dist(prev)
+		if !almostEq(step, 0.5*dt.Seconds(), 1e-9) {
+			t.Fatalf("non-constant speed at %v: step %v", tt, step)
+		}
+		prev = cur
+	}
+}

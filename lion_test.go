@@ -1,0 +1,118 @@
+package lion_test
+
+import (
+	"math"
+	"testing"
+
+	lion "github.com/rfid-lion/lion"
+)
+
+// TestEndToEndCalibrationPipeline drives the whole public API the way a
+// downstream user would: simulate a scan, preprocess, locate, calibrate.
+func TestEndToEndCalibrationPipeline(t *testing.T) {
+	env, err := lion.NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := lion.NewReader(env, lion.ReaderConfig{RateHz: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ant := &lion.Antenna{
+		ID:                "A1",
+		PhysicalCenter:    lion.V3(0, 0.8, 0),
+		PhaseCenterOffset: lion.V3(0.02, -0.015, 0.025),
+		PhaseOffset:       2.74,
+	}
+	tag := &lion.Tag{ID: "T1", PhaseOffset: 0.4}
+
+	scan, err := lion.NewThreeLineScan(lion.ThreeLineConfig{
+		XMin: -0.6, XMax: 0.6, YSpacing: 0.2, ZSpacing: 0.2, Speed: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := reader.Scan(ant, tag, scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := lion.Preprocess(lion.Positions(samples), lion.Phases(samples), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := lion.ThreeLineInput{Lambda: env.Wavelength()}
+	for i, s := range samples {
+		switch s.Segment {
+		case lion.LineL1:
+			in.L1 = append(in.L1, obs[i])
+		case lion.LineL2:
+			in.L2 = append(in.L2, obs[i])
+		case lion.LineL3:
+			in.L3 = append(in.L3, obs[i])
+		}
+	}
+	sol, err := lion.LocateThreeLine(in, lion.DefaultStructuredOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ant.PhaseCenter()
+	if got := sol.Position.Dist(truth); got > 0.03 {
+		t.Errorf("estimated phase center off by %v m", got)
+	}
+	calib := lion.CenterCalibration{
+		AntennaID:       ant.ID,
+		PhysicalCenter:  ant.PhysicalCenter,
+		EstimatedCenter: sol.Position,
+	}
+	if got := calib.Displacement().Sub(ant.PhaseCenterOffset).Norm(); got > 0.03 {
+		t.Errorf("displacement estimate off by %v m", got)
+	}
+
+	// Offset calibration (the tag and antenna offsets combine).
+	offset, err := lion.PhaseOffset(lion.Positions(samples), lion.Phases(samples),
+		sol.Position, env.Wavelength())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOffset := lion.WrapPhase(2.74 + 0.4)
+	diff := math.Abs(lion.WrapPhase(offset-wantOffset+math.Pi) - math.Pi)
+	if diff > 0.4 {
+		t.Errorf("offset = %v, want ~%v", offset, wantOffset)
+	}
+}
+
+func TestPublicLocate2DLine(t *testing.T) {
+	lambda := lion.DefaultBand().Wavelength()
+	ant := lion.V3(0.2, 1, 0)
+	n := 150
+	positions := make([]lion.Vec3, n)
+	wrapped := make([]float64, n)
+	for i := range positions {
+		positions[i] = lion.V3(-0.4+0.8*float64(i)/float64(n-1), 0, 0)
+		wrapped[i] = lion.WrapPhase(lion.PhaseOfDistance(ant.Dist(positions[i]), lambda))
+	}
+	obs, err := lion.Preprocess(positions, wrapped, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := lion.Locate2DLine(obs, lambda, 0.2, true, lion.DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.Position.Dist(ant); got > 1e-6 {
+		t.Errorf("error %v m", got)
+	}
+}
+
+func TestPairStrategies(t *testing.T) {
+	if got := lion.StridePairs(10, 3); len(got) != 7 {
+		t.Errorf("StridePairs = %d", len(got))
+	}
+	positions := []lion.Vec3{lion.V3(0, 0, 0), lion.V3(0.1, 0, 0), lion.V3(0.5, 0, 0)}
+	if got := lion.SeparationPairs(positions, 0.3); len(got) == 0 {
+		t.Error("SeparationPairs empty")
+	}
+	if got := lion.SubsampledAllPairs(6, 100); len(got) != 15 {
+		t.Errorf("SubsampledAllPairs = %d", len(got))
+	}
+}

@@ -1,0 +1,33 @@
+package lion
+
+import (
+	"github.com/rfid-lion/lion/internal/core"
+	"github.com/rfid-lion/lion/internal/sim"
+)
+
+// Frequency-hopping support. The paper's testbed runs on a fixed China-band
+// carrier; FCC-region readers hop channels, and every hop re-locks the PLL
+// with a channel-specific phase offset. The radical-line model extends
+// cleanly: one reference-distance unknown per channel, shared coordinates.
+type (
+	// ChannelObservations is one hop channel's measurement set.
+	ChannelObservations = core.ChannelObservations
+	// HopPlan describes a reader's hop sequence for the simulator.
+	HopPlan = sim.HopPlan
+)
+
+// Locate2DMultiChannel estimates a planar target from channel-hopped scans.
+func Locate2DMultiChannel(channels []ChannelObservations, stride int, opts SolveOptions) (*Solution, error) {
+	return core.Locate2DMultiChannel(channels, stride, opts)
+}
+
+// Locate3DMultiChannel is the spatial analogue of Locate2DMultiChannel.
+func Locate3DMultiChannel(channels []ChannelObservations, stride int, opts SolveOptions) (*Solution, error) {
+	return core.Locate3DMultiChannel(channels, stride, opts)
+}
+
+// SplitChannels groups observations by channel label, attaching each
+// channel's wavelength.
+func SplitChannels(obs []PosPhase, labels []int, lambdas map[int]float64) ([]ChannelObservations, error) {
+	return core.SplitChannels(obs, labels, lambdas)
+}

@@ -1,0 +1,85 @@
+package lion_test
+
+import (
+	"math"
+	"testing"
+
+	lion "github.com/rfid-lion/lion"
+)
+
+// TestHoppedLocalizationPublicAPI drives the frequency-hopping pipeline
+// through the facade: hopped scan → split by channel → per-channel
+// preprocess → joint multi-channel solve.
+func TestHoppedLocalizationPublicAPI(t *testing.T) {
+	env, err := lion.NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := lion.NewReader(env, lion.ReaderConfig{
+		RateHz: 100,
+		Seed:   4,
+		Hopping: &lion.HopPlan{
+			FrequenciesHz: []float64{902.75e6, 915.25e6, 927.25e6},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ant := &lion.Antenna{PhysicalCenter: lion.V3(0.2, 0.9, 0), PhaseOffset: 2.2}
+	tag := &lion.Tag{PhaseOffset: 0.6}
+	trj, err := lion.NewCircularXY(lion.V3(0, 0, 0), 0.3, 0.1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := reader.Scan(ant, tag, trj)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Group raw samples by channel, preprocess per channel, and split.
+	byChannel := map[int][]lion.Sample{}
+	for _, s := range samples {
+		byChannel[s.Channel] = append(byChannel[s.Channel], s)
+	}
+	wl := reader.ChannelWavelengths()
+	var chans []lion.ChannelObservations
+	for c, chSamples := range byChannel {
+		obs, err := lion.Preprocess(lion.Positions(chSamples), lion.Phases(chSamples), 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, lion.ChannelObservations{Lambda: wl[c], Obs: obs})
+	}
+	// Pair samples roughly a quarter of each channel's sweep apart: long
+	// pairs keep the radical lines well conditioned under noise.
+	stride := len(chans[0].Obs) / 4
+	sol, err := lion.Locate2DMultiChannel(chans, stride, lion.DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.Position.Dist(ant.PhaseCenter()); got > 0.04 {
+		t.Errorf("hopped localization error %v m", got)
+	}
+	if len(sol.RefDistances) != len(chans) {
+		t.Errorf("RefDistances = %d, want %d", len(sol.RefDistances), len(chans))
+	}
+}
+
+func TestSplitChannelsPublicAPI(t *testing.T) {
+	obs := []lion.PosPhase{
+		{Pos: lion.V3(0, 0, 0), Theta: 1},
+		{Pos: lion.V3(0.1, 0, 0), Theta: 2},
+	}
+	chans, err := lion.SplitChannels(obs, []int{0, 1}, map[int]float64{
+		0: 0.32, 1: 0.33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chans) != 2 {
+		t.Fatalf("channels = %d", len(chans))
+	}
+	if math.Abs(chans[1].Lambda-0.33) > 1e-12 {
+		t.Errorf("lambda = %v", chans[1].Lambda)
+	}
+}

@@ -1,0 +1,119 @@
+package lion
+
+import (
+	"time"
+
+	"github.com/rfid-lion/lion/internal/rf"
+	"github.com/rfid-lion/lion/internal/sim"
+	"github.com/rfid-lion/lion/internal/traject"
+)
+
+// Simulation testbed re-exports: everything needed to exercise the library
+// without RFID hardware. The simulator produces exactly what a real reader
+// reports — wrapped phases at known tag positions — including device phase
+// offsets, phase-center displacement, noise, beams, multipath, and fades.
+type (
+	// Antenna models one reader antenna, including its true phase center.
+	Antenna = sim.Antenna
+	// Tag models one RFID tag with its reflection phase offset.
+	Tag = sim.Tag
+	// Environment bundles RF conditions (noise, reflectors, fading).
+	Environment = sim.Environment
+	// Reader drives simulated scans.
+	Reader = sim.Reader
+	// ReaderConfig parameterises a Reader.
+	ReaderConfig = sim.ReaderConfig
+	// Sample is one simulated read.
+	Sample = sim.Sample
+	// FadeModel describes bursty multipath fades.
+	FadeModel = sim.FadeModel
+	// Reflector is a planar multipath reflector.
+	Reflector = rf.Reflector
+	// Beam is a directional antenna gain pattern.
+	Beam = rf.Beam
+)
+
+// NewEnvironment returns a free-space environment on the paper's band.
+func NewEnvironment() (*Environment, error) { return sim.NewEnvironment() }
+
+// NewReader builds a simulated reader for the environment.
+func NewReader(env *Environment, cfg ReaderConfig) (*Reader, error) {
+	return sim.NewReader(env, cfg)
+}
+
+// DefaultReaderConfig matches the paper's testbed (100 Hz reads).
+func DefaultReaderConfig() ReaderConfig { return sim.DefaultReaderConfig() }
+
+// NewBeam builds a cos-power beam pattern with the given boresight and full
+// half-power beamwidth in radians.
+func NewBeam(boresight Vec3, beamwidthRad float64) (*Beam, error) {
+	return rf.NewBeam(boresight, beamwidthRad)
+}
+
+// Phases extracts the wrapped phases of a sample slice.
+func Phases(samples []Sample) []float64 { return sim.Phases(samples) }
+
+// Positions extracts the ground-truth tag positions of a sample slice.
+func Positions(samples []Sample) []Vec3 { return sim.Positions(samples) }
+
+// FilterSegment keeps only the samples carrying the given segment label.
+func FilterSegment(samples []Sample, segment int) []Sample {
+	return sim.FilterSegment(samples, segment)
+}
+
+// Trajectories.
+type (
+	// Trajectory maps elapsed time to tag position.
+	Trajectory = traject.Trajectory
+	// Segmented is a trajectory with labelled segments.
+	Segmented = traject.Segmented
+	// Linear is straight-line motion.
+	Linear = traject.Linear
+	// Polyline is waypoint motion at constant speed.
+	Polyline = traject.Polyline
+	// Circular is turntable motion.
+	Circular = traject.Circular
+	// ThreeLineScan is the paper's Fig. 11 calibration trajectory.
+	ThreeLineScan = traject.ThreeLineScan
+	// ThreeLineConfig parameterises a ThreeLineScan.
+	ThreeLineConfig = traject.ThreeLineConfig
+	// TwoLineScan is the reduced planar scan.
+	TwoLineScan = traject.TwoLineScan
+)
+
+// Segment labels of the multi-line scans.
+const (
+	LineTransfer = traject.LineTransfer
+	LineL1       = traject.LineL1
+	LineL2       = traject.LineL2
+	LineL3       = traject.LineL3
+)
+
+// NewLinear returns straight-line motion from one point to another at the
+// given speed in m/s.
+func NewLinear(from, to Vec3, speed float64) (*Linear, error) {
+	return traject.NewLinear(from, to, speed)
+}
+
+// NewPolyline returns waypoint motion at the given speed in m/s.
+func NewPolyline(points []Vec3, speed float64) (*Polyline, error) {
+	return traject.NewPolyline(points, speed)
+}
+
+// NewCircularXY returns circular motion in a z = const plane.
+func NewCircularXY(center Vec3, radius, speed, startAngle, turns float64) (*Circular, error) {
+	return traject.NewCircularXY(center, radius, speed, startAngle, turns)
+}
+
+// NewThreeLineScan builds the three-line calibration trajectory.
+func NewThreeLineScan(cfg ThreeLineConfig) (*ThreeLineScan, error) {
+	return traject.NewThreeLineScan(cfg)
+}
+
+// NewTwoLineScan builds the two-line planar trajectory.
+func NewTwoLineScan(xMin, xMax, ySpacing, speed float64) (*TwoLineScan, error) {
+	return traject.NewTwoLineScan(xMin, xMax, ySpacing, speed)
+}
+
+// ScanDuration returns how long a scan of the trajectory takes.
+func ScanDuration(t Trajectory) time.Duration { return t.Duration() }

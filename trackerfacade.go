@@ -1,0 +1,30 @@
+package lion
+
+import (
+	"github.com/rfid-lion/lion/internal/tracker"
+)
+
+// Streaming tracker re-exports: a sliding-window estimator for conveyor
+// deployments, built on the linear localization model.
+type (
+	// TrackerConfig describes the deployment the tracker runs in.
+	TrackerConfig = tracker.Config
+	// Tracker is the streaming estimator (not safe for concurrent use).
+	Tracker = tracker.Tracker
+	// TrackEstimate is one tracker output.
+	TrackEstimate = tracker.Estimate
+)
+
+// ErrTrackerNotReady is returned by Tracker.Push until the sliding window
+// holds enough reads.
+var ErrTrackerNotReady = tracker.ErrNotReady
+
+// NewTracker builds a streaming tracker.
+func NewTracker(cfg TrackerConfig) (*Tracker, error) { return tracker.New(cfg) }
+
+// UnwrapSafe reports whether a belt speed and read rate keep consecutive
+// reads within the phase-unwrapping limit (tag displacement well under a
+// quarter wavelength per read).
+func UnwrapSafe(lambda, speed, rateHz float64) bool {
+	return tracker.UnwrapSanity(lambda, speed, rateHz)
+}
