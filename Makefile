@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check vet build test race bench fuzz
+
+## check: the CI gate — vet, build, and the full suite under the race
+## detector (includes the 1k-job batch stress test and the serial/parallel
+## equivalence tests).
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+## fuzz: short fuzzing passes over the phase-wrap and preprocessing
+## invariants (their seed corpora also run in every plain `go test`).
+fuzz:
+	$(GO) test -fuzz FuzzWrapPhase -fuzztime 30s ./internal/rf
+	$(GO) test -run '^$$' -fuzz FuzzPreprocess -fuzztime 30s .

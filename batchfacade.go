@@ -1,0 +1,217 @@
+package lion
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/batch"
+	"github.com/rfid-lion/lion/internal/core"
+)
+
+// Batch engine re-exports: the bounded worker pool behind BatchLocate,
+// BatchAdaptive, the adaptive parameter sweeps, and the experiment harness.
+type (
+	// BatchEngine is a bounded worker pool with deterministic ordering.
+	BatchEngine = batch.Engine
+	// BatchEngineOptions configures a BatchEngine.
+	BatchEngineOptions = batch.Options
+	// BatchJob is one unit of work for a BatchEngine.
+	BatchJob = batch.Job
+	// BatchOutcome is one job's result, keyed by submission index.
+	BatchOutcome = batch.Outcome
+)
+
+// ErrJobPanicked wraps a panic recovered inside a batch job.
+var ErrJobPanicked = batch.ErrPanic
+
+// NewBatchEngine builds a worker pool; zero Workers means GOMAXPROCS.
+func NewBatchEngine(opts BatchEngineOptions) *BatchEngine { return batch.New(opts) }
+
+// BatchOptions configures the high-level batch localization calls.
+type BatchOptions struct {
+	// Workers is the pool size. Zero means runtime.GOMAXPROCS(0); one
+	// forces a serial run (useful for equivalence checks).
+	Workers int
+	// JobTimeout, when positive, bounds each request's solve time.
+	JobTimeout time.Duration
+}
+
+// ErrUnknownRequestKind is returned for a request whose Kind is unset or
+// out of range.
+var ErrUnknownRequestKind = errors.New("lion: unknown batch request kind")
+
+// LocateKind selects which solver a LocateRequest runs.
+type LocateKind int
+
+const (
+	// KindLocate2D runs Locate2D on Obs/Lambda/Pairs.
+	KindLocate2D LocateKind = iota + 1
+	// KindLocate3D runs Locate3D on Obs/Lambda/Pairs.
+	KindLocate3D
+	// KindLocate2DLine runs Locate2DLine on Obs/Lambda with Interval.
+	KindLocate2DLine
+	// KindThreeLine runs LocateThreeLine on the ThreeLine input.
+	KindThreeLine
+	// KindTwoLine runs LocateTwoLine on the TwoLine input.
+	KindTwoLine
+)
+
+// LocateRequest is one localization job for BatchLocate. Kind selects the
+// solver; only the fields that solver consumes need to be set.
+type LocateRequest struct {
+	Kind LocateKind
+
+	// Obs/Lambda/Pairs feed KindLocate2D, KindLocate3D and KindLocate2DLine.
+	Obs    []PosPhase
+	Lambda float64
+	Pairs  []Pair
+	// Interval is the pairing separation for KindLocate2DLine.
+	Interval float64
+	// PositiveSide selects the recovery branch for KindLocate2DLine.
+	PositiveSide bool
+	// Solve configures the least-squares solver for the unstructured kinds.
+	Solve SolveOptions
+
+	// ThreeLine feeds KindThreeLine.
+	ThreeLine ThreeLineInput
+	// TwoLine and AbovePlane feed KindTwoLine.
+	TwoLine    TwoLineInput
+	AbovePlane bool
+	// Structured configures the structured kinds.
+	Structured StructuredOptions
+}
+
+// LocateOutcome is one BatchLocate result; Index matches the request slice.
+type LocateOutcome struct {
+	Index    int
+	Solution *Solution
+	Err      error
+}
+
+// solve dispatches the request to its solver.
+func (r LocateRequest) solve() (*Solution, error) {
+	switch r.Kind {
+	case KindLocate2D:
+		return core.Locate2D(r.Obs, r.Lambda, r.Pairs, r.Solve)
+	case KindLocate3D:
+		return core.Locate3D(r.Obs, r.Lambda, r.Pairs, r.Solve)
+	case KindLocate2DLine:
+		return core.Locate2DLine(r.Obs, r.Lambda, r.Interval, r.PositiveSide, r.Solve)
+	case KindThreeLine:
+		return core.LocateThreeLine(r.ThreeLine, r.Structured)
+	case KindTwoLine:
+		return core.LocateTwoLine(r.TwoLine, r.AbovePlane, r.Structured)
+	default:
+		return nil, ErrUnknownRequestKind
+	}
+}
+
+// BatchLocate fans the requests across a bounded worker pool and returns one
+// outcome per request in submission order: out[i] always belongs to reqs[i],
+// so a parallel run reproduces a serial run exactly. Cancelling ctx stops
+// unstarted requests with ctx's error.
+func BatchLocate(ctx context.Context, reqs []LocateRequest, opts BatchOptions) []LocateOutcome {
+	return runRequests(ctx, opts, reqs, LocateRequest.solve,
+		func(i int, sol *Solution, err error) LocateOutcome {
+			return LocateOutcome{Index: i, Solution: sol, Err: err}
+		})
+}
+
+// AdaptiveKind selects which adaptive sweep an AdaptiveRequest runs.
+type AdaptiveKind int
+
+const (
+	// KindAdaptiveThreeLine runs AdaptiveLocateThreeLine.
+	KindAdaptiveThreeLine AdaptiveKind = iota + 1
+	// KindAdaptiveTwoLine runs AdaptiveLocateTwoLine.
+	KindAdaptiveTwoLine
+	// KindAdaptive2DLine runs AdaptiveLocate2DLine.
+	KindAdaptive2DLine
+)
+
+// AdaptiveRequest is one adaptive-sweep job for BatchAdaptive. Each request
+// runs its grid serially inside one worker — the batch layer provides the
+// parallelism, so a batch of sweeps does not oversubscribe the CPU.
+type AdaptiveRequest struct {
+	Kind AdaptiveKind
+
+	// ThreeLine feeds KindAdaptiveThreeLine.
+	ThreeLine ThreeLineInput
+	// TwoLine and AbovePlane feed KindAdaptiveTwoLine.
+	TwoLine    TwoLineInput
+	AbovePlane bool
+	// Ranges and Intervals define the parameter grid (Intervals alone for
+	// KindAdaptive2DLine).
+	Ranges    []float64
+	Intervals []float64
+	// Base carries the shared structured options for the structured kinds.
+	Base StructuredOptions
+
+	// Obs/Lambda/PositiveSide/Solve feed KindAdaptive2DLine.
+	Obs          []PosPhase
+	Lambda       float64
+	PositiveSide bool
+	Solve        SolveOptions
+}
+
+// AdaptiveOutcome is one BatchAdaptive result; Index matches the requests.
+type AdaptiveOutcome struct {
+	Index  int
+	Result *AdaptiveResult
+	Err    error
+}
+
+func (r AdaptiveRequest) solve() (*AdaptiveResult, error) {
+	switch r.Kind {
+	case KindAdaptiveThreeLine:
+		return core.AdaptiveLocateThreeLineWorkers(r.ThreeLine, r.Ranges, r.Intervals, r.Base, 1)
+	case KindAdaptiveTwoLine:
+		return core.AdaptiveLocateTwoLineWorkers(r.TwoLine, r.AbovePlane, r.Ranges, r.Intervals, r.Base, 1)
+	case KindAdaptive2DLine:
+		return core.AdaptiveLocate2DLineWorkers(r.Obs, r.Lambda, r.Intervals, r.PositiveSide, r.Solve, 1)
+	default:
+		return nil, ErrUnknownRequestKind
+	}
+}
+
+// BatchAdaptive fans adaptive parameter sweeps across a bounded worker pool
+// with the same ordering and cancellation contract as BatchLocate.
+func BatchAdaptive(ctx context.Context, reqs []AdaptiveRequest, opts BatchOptions) []AdaptiveOutcome {
+	return runRequests(ctx, opts, reqs, AdaptiveRequest.solve,
+		func(i int, res *AdaptiveResult, err error) AdaptiveOutcome {
+			return AdaptiveOutcome{Index: i, Result: res, Err: err}
+		})
+}
+
+// runRequests is the shared fan-out: solve every request on the pool and
+// wrap each result into the caller's outcome type, preserving indices.
+func runRequests[Req any, Res any, Out any](
+	ctx context.Context,
+	opts BatchOptions,
+	reqs []Req,
+	solve func(Req) (*Res, error),
+	wrap func(int, *Res, error) Out,
+) []Out {
+	eng := batch.New(batch.Options{Workers: opts.Workers, JobTimeout: opts.JobTimeout})
+	jobs := make([]batch.Job, len(reqs))
+	for i := range reqs {
+		req := reqs[i]
+		jobs[i] = func(jctx context.Context) (any, error) {
+			if err := jctx.Err(); err != nil {
+				return nil, err
+			}
+			return solve(req)
+		}
+	}
+	outcomes := eng.Run(ctx, jobs)
+	out := make([]Out, len(reqs))
+	for i, o := range outcomes {
+		var res *Res
+		if o.Err == nil {
+			res, _ = o.Value.(*Res)
+		}
+		out[i] = wrap(i, res, o.Err)
+	}
+	return out
+}

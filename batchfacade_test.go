@@ -1,0 +1,124 @@
+package lion_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	lion "github.com/rfid-lion/lion"
+)
+
+// batchThreeLineInput builds a noiseless three-line scan seen from ant.
+func batchThreeLineInput(ant lion.Vec3) (lion.ThreeLineInput, float64) {
+	lambda := lion.DefaultBand().Wavelength()
+	mk := func(y, z float64) []lion.PosPhase {
+		n := 120
+		out := make([]lion.PosPhase, n)
+		for i := range out {
+			p := lion.V3(-0.6+1.2*float64(i)/float64(n-1), y, z)
+			out[i] = lion.PosPhase{Pos: p, Theta: lion.PhaseOfDistance(ant.Dist(p), lambda)}
+		}
+		return out
+	}
+	return lion.ThreeLineInput{
+		L1: mk(0, 0), L2: mk(0, 0.2), L3: mk(-0.2, 0), Lambda: lambda,
+	}, lambda
+}
+
+// batchRequests builds a mixed workload of n requests around distinct
+// antenna positions.
+func batchRequests(n int) []lion.LocateRequest {
+	reqs := make([]lion.LocateRequest, n)
+	for i := range reqs {
+		ant := lion.V3(0.05*float64(i%5), 0.8+0.02*float64(i%3), 0.1)
+		in, _ := batchThreeLineInput(ant)
+		reqs[i] = lion.LocateRequest{
+			Kind:       lion.KindThreeLine,
+			ThreeLine:  in,
+			Structured: lion.DefaultStructuredOptions(),
+		}
+	}
+	return reqs
+}
+
+func TestBatchLocateParallelMatchesSerial(t *testing.T) {
+	reqs := batchRequests(12)
+	serial := lion.BatchLocate(context.Background(), reqs, lion.BatchOptions{Workers: 1})
+	parallel := lion.BatchLocate(context.Background(), reqs, lion.BatchOptions{Workers: 4})
+	if len(serial) != len(parallel) {
+		t.Fatalf("%d serial vs %d parallel outcomes", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("outcome %d errs: serial %v parallel %v", i, serial[i].Err, parallel[i].Err)
+		}
+		if !reflect.DeepEqual(serial[i].Solution, parallel[i].Solution) {
+			t.Fatalf("outcome %d differs between serial and parallel", i)
+		}
+	}
+}
+
+func TestBatchLocateSolvesCorrectly(t *testing.T) {
+	ant := lion.V3(0, 0.8, 0.1)
+	in, _ := batchThreeLineInput(ant)
+	out := lion.BatchLocate(context.Background(), []lion.LocateRequest{{
+		Kind:       lion.KindThreeLine,
+		ThreeLine:  in,
+		Structured: lion.DefaultStructuredOptions(),
+	}}, lion.BatchOptions{})
+	if out[0].Err != nil {
+		t.Fatal(out[0].Err)
+	}
+	if d := out[0].Solution.Position.Dist(ant); d > 0.01 {
+		t.Fatalf("batch solve missed the antenna by %.4f m", d)
+	}
+}
+
+func TestBatchLocateUnknownKind(t *testing.T) {
+	out := lion.BatchLocate(context.Background(), []lion.LocateRequest{{}}, lion.BatchOptions{})
+	if !errors.Is(out[0].Err, lion.ErrUnknownRequestKind) {
+		t.Fatalf("err = %v", out[0].Err)
+	}
+}
+
+func TestBatchLocateCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := lion.BatchLocate(ctx, batchRequests(4), lion.BatchOptions{Workers: 2})
+	for i, o := range out {
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Fatalf("outcome %d err = %v, want canceled", i, o.Err)
+		}
+	}
+}
+
+func TestBatchAdaptiveMatchesDirectCalls(t *testing.T) {
+	ant := lion.V3(0, 0.8, 0.1)
+	in, _ := batchThreeLineInput(ant)
+	ranges := []float64{0.6, 0.8, 1.0}
+	intervals := []float64{0.15, 0.2, 0.25}
+	base := lion.StructuredOptions{Solve: lion.DefaultSolveOptions()}
+
+	want, err := lion.AdaptiveLocateThreeLine(in, ranges, intervals, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := lion.BatchAdaptive(context.Background(), []lion.AdaptiveRequest{{
+		Kind:      lion.KindAdaptiveThreeLine,
+		ThreeLine: in,
+		Ranges:    ranges,
+		Intervals: intervals,
+		Base:      base,
+	}}, lion.BatchOptions{Workers: 4})
+	if out[0].Err != nil {
+		t.Fatal(out[0].Err)
+	}
+	if !reflect.DeepEqual(out[0].Result, want) {
+		t.Fatal("BatchAdaptive result differs from direct AdaptiveLocateThreeLine")
+	}
+	if math.IsNaN(out[0].Result.Position.X) {
+		t.Fatal("NaN position")
+	}
+}

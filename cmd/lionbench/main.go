@@ -1,7 +1,10 @@
 // Command lionbench regenerates every table and figure of the paper's
 // evaluation on the simulated testbed and prints the results. Use -fast for
-// a quick smoke run, -only to select individual experiments, and -o to
-// write the report to a file (the source of EXPERIMENTS.md).
+// a quick smoke run, -only to select individual experiments, -workers N to
+// size the per-trial solver pool (results are identical at any size; only
+// wall-clock changes, which is how the serial-vs-parallel speedup is
+// measured), and -o to write the report to a file (the source of
+// EXPERIMENTS.md).
 package main
 
 import (
@@ -92,16 +95,17 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("lionbench", flag.ContinueOnError)
 	var (
-		fast   = fs.Bool("fast", false, "reduced grids and trial counts")
-		seed   = fs.Int64("seed", 1, "random seed")
-		trials = fs.Int("trials", 0, "override repetition count (0 = default)")
-		only   = fs.String("only", "", "comma-separated experiment names (e.g. fig13,fig21)")
-		out    = fs.String("o", "", "also write the report to this file")
+		fast    = fs.Bool("fast", false, "reduced grids and trial counts")
+		seed    = fs.Int64("seed", 1, "random seed")
+		trials  = fs.Int("trials", 0, "override repetition count (0 = default)")
+		only    = fs.String("only", "", "comma-separated experiment names (e.g. fig13,fig21)")
+		out     = fs.String("o", "", "also write the report to this file")
+		workers = fs.Int("workers", 0, "solver worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical, only wall-clock changes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiment.Config{Seed: *seed, Trials: *trials, Fast: *fast}
+	cfg := experiment.Config{Seed: *seed, Trials: *trials, Fast: *fast, Workers: *workers}
 
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*only, ",") {

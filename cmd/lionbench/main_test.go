@@ -57,6 +57,32 @@ func TestRunWritesReportFile(t *testing.T) {
 	}
 }
 
+// TestRunWorkersEquivalence runs the same experiment serially and with a
+// 4-worker pool; the rendered error columns must be identical (solver-time
+// columns vary, so compare a figure whose table has no timing column).
+func TestRunWorkersEquivalence(t *testing.T) {
+	var serial, parallel strings.Builder
+	if err := run([]string{"-fast", "-only", "fig21", "-workers", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fast", "-only", "fig21", "-workers", "4"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	stripTiming := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "completed in") || strings.HasPrefix(line, "total:") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if stripTiming(serial.String()) != stripTiming(parallel.String()) {
+		t.Error("serial and 4-worker runs rendered different tables")
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {

@@ -32,4 +32,13 @@
 // facade) so every pipeline can be exercised without hardware; see
 // examples/ for runnable programs and internal/experiment for the
 // reproduction of every figure in the paper.
+//
+// # Throughput
+//
+// Independent localizations fan out across a bounded worker pool with
+// deterministic result ordering: BatchLocate and BatchAdaptive accept many
+// requests and return outcomes keyed by submission index, so a parallel run
+// is byte-identical to a serial one. The adaptive parameter sweeps
+// (AdaptiveLocateThreeLine and friends) parallelise their range×interval
+// grid on the same engine internally.
 package lion

@@ -1,0 +1,13 @@
+// Package batch is a bounded worker-pool engine for fanning out
+// embarrassingly parallel localization work: adaptive parameter sweeps,
+// per-trial experiment repetitions, and bulk per-tag localization requests.
+//
+// The engine guarantees deterministic result ordering — outcome i always
+// corresponds to job i, regardless of worker count or scheduling — so a
+// parallel run is byte-identical to a serial run of the same jobs. Jobs run
+// under a context.Context with optional per-job timeouts, and panics inside
+// a job are recovered into errors instead of taking the process down.
+//
+// The package is domain-agnostic (stdlib only) so that internal/core and
+// internal/experiment can both build on it without import cycles.
+package batch

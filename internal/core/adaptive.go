@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 
+	"github.com/rfid-lion/lion/internal/batch"
 	"github.com/rfid-lion/lion/internal/geom"
 )
 
@@ -104,65 +106,121 @@ func SelectByAbsResidual(cands []Candidate) (*AdaptiveResult, error) {
 	return res, nil
 }
 
+// gridSpec is one (range, interval) cell of an adaptive sweep, in the
+// deterministic row-major order the serial loops used: ranges outer,
+// intervals inner.
+type gridSpec struct {
+	scanRange float64
+	interval  float64
+}
+
+func gridSpecs(ranges, intervals []float64) []gridSpec {
+	specs := make([]gridSpec, 0, len(ranges)*len(intervals))
+	for _, rg := range ranges {
+		for _, iv := range intervals {
+			specs = append(specs, gridSpec{scanRange: rg, interval: iv})
+		}
+	}
+	return specs
+}
+
+// sweep evaluates every candidate with eval. Each candidate is an
+// independent solve, so the sweep fans out across a batch worker pool;
+// results land in the slice slot matching their candidate index, which keeps
+// the output bit-identical to a serial loop (ties in SelectByResidual are
+// broken by candidate order, i.e. deterministically by index). workers ≤ 1
+// runs serially on the calling goroutine; workers == 0 uses GOMAXPROCS.
+func sweep(specs []gridSpec, workers int, eval func(gridSpec) (*Solution, error)) []Candidate {
+	cands := make([]Candidate, len(specs))
+	fill := func(i int) {
+		sol, err := eval(specs[i])
+		cands[i] = Candidate{
+			ScanRange: specs[i].scanRange,
+			Interval:  specs[i].interval,
+			Solution:  sol,
+			Err:       err,
+		}
+	}
+	if workers == 1 || len(specs) < 2 {
+		for i := range specs {
+			fill(i)
+		}
+		return cands
+	}
+	jobs := make([]batch.Job, len(specs))
+	for i := range specs {
+		i := i
+		jobs[i] = func(context.Context) (any, error) {
+			fill(i)
+			return nil, nil
+		}
+	}
+	batch.New(batch.Options{Workers: workers}).Run(context.Background(), jobs)
+	return cands
+}
+
 // AdaptiveLocateThreeLine sweeps the scanning range and interval over the
 // given values, runs the structured three-line localization for each
-// combination, and fuses the estimates with SelectByResidual. base provides
-// the grid step and solve options shared by all combinations.
+// combination in parallel, and fuses the estimates with SelectByResidual.
+// base provides the grid step and solve options shared by all combinations.
 func AdaptiveLocateThreeLine(in ThreeLineInput, ranges, intervals []float64, base StructuredOptions) (*AdaptiveResult, error) {
+	return AdaptiveLocateThreeLineWorkers(in, ranges, intervals, base, 0)
+}
+
+// AdaptiveLocateThreeLineWorkers is AdaptiveLocateThreeLine with an explicit
+// pool size: 0 means GOMAXPROCS, 1 forces the serial path. Both paths return
+// bit-identical results.
+func AdaptiveLocateThreeLineWorkers(in ThreeLineInput, ranges, intervals []float64, base StructuredOptions, workers int) (*AdaptiveResult, error) {
 	if len(ranges) == 0 || len(intervals) == 0 {
 		return nil, ErrNoCandidates
 	}
-	cands := make([]Candidate, 0, len(ranges)*len(intervals))
-	for _, rg := range ranges {
-		for _, iv := range intervals {
-			opts := base
-			opts.ScanRange = rg
-			opts.Interval = iv
-			sol, err := LocateThreeLine(in, opts)
-			cands = append(cands, Candidate{
-				ScanRange: rg,
-				Interval:  iv,
-				Solution:  sol,
-				Err:       err,
-			})
-		}
-	}
+	cands := sweep(gridSpecs(ranges, intervals), workers, func(s gridSpec) (*Solution, error) {
+		opts := base
+		opts.ScanRange = s.scanRange
+		opts.Interval = s.interval
+		return LocateThreeLine(in, opts)
+	})
 	return SelectByResidual(cands)
 }
 
 // AdaptiveLocateTwoLine is the two-line analogue of AdaptiveLocateThreeLine.
 func AdaptiveLocateTwoLine(in TwoLineInput, abovePlane bool, ranges, intervals []float64, base StructuredOptions) (*AdaptiveResult, error) {
+	return AdaptiveLocateTwoLineWorkers(in, abovePlane, ranges, intervals, base, 0)
+}
+
+// AdaptiveLocateTwoLineWorkers is AdaptiveLocateTwoLine with an explicit
+// pool size: 0 means GOMAXPROCS, 1 forces the serial path.
+func AdaptiveLocateTwoLineWorkers(in TwoLineInput, abovePlane bool, ranges, intervals []float64, base StructuredOptions, workers int) (*AdaptiveResult, error) {
 	if len(ranges) == 0 || len(intervals) == 0 {
 		return nil, ErrNoCandidates
 	}
-	cands := make([]Candidate, 0, len(ranges)*len(intervals))
-	for _, rg := range ranges {
-		for _, iv := range intervals {
-			opts := base
-			opts.ScanRange = rg
-			opts.Interval = iv
-			sol, err := LocateTwoLine(in, abovePlane, opts)
-			cands = append(cands, Candidate{
-				ScanRange: rg,
-				Interval:  iv,
-				Solution:  sol,
-				Err:       err,
-			})
-		}
-	}
+	cands := sweep(gridSpecs(ranges, intervals), workers, func(s gridSpec) (*Solution, error) {
+		opts := base
+		opts.ScanRange = s.scanRange
+		opts.Interval = s.interval
+		return LocateTwoLine(in, abovePlane, opts)
+	})
 	return SelectByResidual(cands)
 }
 
 // AdaptiveLocate2DLine sweeps the pairing interval for the single-line 2-D
 // case and fuses the estimates with SelectByResidual.
 func AdaptiveLocate2DLine(obs []PosPhase, lambda float64, intervals []float64, positiveSide bool, opts SolveOptions) (*AdaptiveResult, error) {
+	return AdaptiveLocate2DLineWorkers(obs, lambda, intervals, positiveSide, opts, 0)
+}
+
+// AdaptiveLocate2DLineWorkers is AdaptiveLocate2DLine with an explicit pool
+// size: 0 means GOMAXPROCS, 1 forces the serial path.
+func AdaptiveLocate2DLineWorkers(obs []PosPhase, lambda float64, intervals []float64, positiveSide bool, opts SolveOptions, workers int) (*AdaptiveResult, error) {
 	if len(intervals) == 0 {
 		return nil, ErrNoCandidates
 	}
-	cands := make([]Candidate, 0, len(intervals))
-	for _, iv := range intervals {
-		sol, err := Locate2DLine(obs, lambda, iv, positiveSide, opts)
-		cands = append(cands, Candidate{Interval: iv, Solution: sol, Err: err})
+	specs := make([]gridSpec, len(intervals))
+	for i, iv := range intervals {
+		specs[i] = gridSpec{interval: iv}
 	}
+	cands := sweep(specs, workers, func(s gridSpec) (*Solution, error) {
+		return Locate2DLine(obs, lambda, s.interval, positiveSide, opts)
+	})
 	return SelectByResidual(cands)
 }

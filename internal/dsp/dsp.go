@@ -49,6 +49,11 @@ func Wrap(xs []float64) []float64 {
 		t := math.Mod(x, 2*math.Pi)
 		if t < 0 {
 			t += 2 * math.Pi
+			// Negative values within one ulp of zero round up to exactly
+			// 2π, which would escape the half-open interval.
+			if t >= 2*math.Pi {
+				t = 0
+			}
 		}
 		out[i] = t
 	}

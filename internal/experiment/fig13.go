@@ -75,98 +75,70 @@ func relativeObs(obs []core.PosPhase, p0 geom.Vec3) []core.PosPhase {
 	return out
 }
 
-// trial2D runs one 2-D localization of a random tag start and returns the
-// position errors with and without calibration, for both methods, plus the
-// solver times.
-func (s *fig13Setup) trial2D(dahStep float64) (lionErrPlus, lionErrMinus, dahErrPlus, dahErrMinus float64, lionTime, dahTime time.Duration, err error) {
+// fig13Trial carries one trial's pre-generated scan data, so the solver
+// phase is a pure function of it and can fan out across workers. Generation
+// consumes the shared testbed RNG and therefore stays serial.
+type fig13Trial struct {
+	rel2D  []core.PosPhase
+	p02D   geom.Vec3
+	true2D geom.Vec3 // antenna in the 2-D track frame
+
+	in3D   core.TwoLineInput
+	sub3D  []core.PosPhase // subsampled observations for the DAH grid
+	p03D   geom.Vec3
+	true3D geom.Vec3
+}
+
+// fig13Result is one trial's solver outputs: errors with[+]/without[-]
+// calibration for both methods, plus solver wall-clock.
+type fig13Result struct {
+	lionPlus2D, lionMinus2D, dahPlus2D, dahMinus2D float64
+	lionTime2D, dahTime2D                          time.Duration
+	lionPlus3D, lionMinus3D, dahPlus3D, dahMinus3D float64
+	lionTime3D, dahTime3D                          time.Duration
+}
+
+// gen2D draws one 2-D trial: a random tag start and a linear scan past the
+// antenna.
+func (s *fig13Setup) gen2D(t *fig13Trial) error {
 	p0 := geom.V3(s.tb.rng.Uniform(-0.2, 0.2), 0, 0)
 	trj, err := traject.NewLinear(p0.Add(geom.V3(-0.5, 0, 0)), p0.Add(geom.V3(0.5, 0, 0)), 0.1)
 	if err != nil {
-		return 0, 0, 0, 0, 0, 0, err
+		return err
 	}
 	obs, _, err := s.tb.scanToObs(s.ant2D, s.tag, trj)
 	if err != nil {
-		return 0, 0, 0, 0, 0, 0, err
+		return err
 	}
-	rel := relativeObs(obs, p0)
-
-	start := time.Now()
-	sol, err := core.Locate2DLine(rel, s.tb.lambda, 0.2, true, core.DefaultSolveOptions())
-	if err != nil {
-		return 0, 0, 0, 0, 0, 0, err
-	}
-	lionTime = time.Since(start)
-
-	trueT := s.ant2D.PhaseCenter().Sub(p0) // antenna in track frame
-	estimate := func(anchor geom.Vec3, tHat geom.Vec3) float64 {
-		p0Hat := anchor.Sub(tHat)
-		return p0Hat.XY().Dist(p0.XY())
-	}
-	lionErrPlus = estimate(s.calib2D.EstimatedCenter, sol.Position)
-	lionErrMinus = estimate(s.ant2D.PhysicalCenter, sol.Position)
-
-	// DAH over a 20 cm box around the true relative antenna position
-	// (the paper reduces the search area the same way).
-	start = time.Now()
-	hres, err := hologram.Locate(rel, hologram.Config{
-		Lambda:   s.tb.lambda,
-		GridMin:  trueT.Add(geom.V3(-0.1, -0.1, 0)),
-		GridMax:  trueT.Add(geom.V3(0.1, 0.1, 0)),
-		GridStep: dahStep,
-		Weighted: true,
-	})
-	if err != nil {
-		return 0, 0, 0, 0, 0, 0, err
-	}
-	dahTime = time.Since(start)
-	hpos := hres.Position
-	hpos.Z = 0
-	dahErrPlus = estimate(s.calib2D.EstimatedCenter, hpos)
-	dahErrMinus = estimate(s.ant2D.PhysicalCenter, hpos)
-	return lionErrPlus, lionErrMinus, dahErrPlus, dahErrMinus, lionTime, dahTime, nil
+	t.rel2D = relativeObs(obs, p0)
+	t.p02D = p0
+	t.true2D = s.ant2D.PhaseCenter().Sub(p0)
+	return nil
 }
 
-// trial3D is the 3-D analogue over the two-line scan with 20 cm depth
-// interval.
-func (s *fig13Setup) trial3D(dahStep float64) (lionErrPlus, lionErrMinus, dahErrPlus, dahErrMinus float64, lionTime, dahTime time.Duration, err error) {
+// gen3D draws one 3-D trial over the two-line scan with 20 cm depth
+// interval, including the DAH subsample (the paper shrinks the 3-D search
+// volume to (20 cm)³ the same way).
+func (s *fig13Setup) gen3D(t *fig13Trial) error {
 	p0 := geom.V3(s.tb.rng.Uniform(-0.2, 0.2), 0, 0)
 	scan, err := traject.NewTwoLineScan(-0.5, 0.5, 0.2, 0.1)
 	if err != nil {
-		return 0, 0, 0, 0, 0, 0, err
+		return err
 	}
 	shifted := &shiftedTrajectory{inner: scan, offset: p0}
 	samples, err := s.tb.reader.Scan(s.ant3D, s.tag, shifted)
 	if err != nil {
-		return 0, 0, 0, 0, 0, 0, err
+		return err
 	}
 	obs, err := core.Preprocess(sim.Positions(samples), sim.Phases(samples), smoothWindow)
 	if err != nil {
-		return 0, 0, 0, 0, 0, 0, err
+		return err
 	}
 	rel := relativeObs(obs, p0)
 	in, err := splitTwoLine(rel, samples, s.tb.lambda)
 	if err != nil {
-		return 0, 0, 0, 0, 0, 0, err
+		return err
 	}
-
-	start := time.Now()
-	twoOpts := core.DefaultStructuredOptions()
-	twoOpts.Intervals = []float64{0.2, 0.4, 0.7} // long pairs pin d_r and z
-	sol, err := core.LocateTwoLine(in, true, twoOpts)
-	if err != nil {
-		return 0, 0, 0, 0, 0, 0, err
-	}
-	lionTime = time.Since(start)
-
-	trueT := s.ant3D.PhaseCenter().Sub(p0)
-	estimate := func(anchor geom.Vec3, tHat geom.Vec3) float64 {
-		return anchor.Sub(tHat).Dist(p0)
-	}
-	lionErrPlus = estimate(s.calib3D.EstimatedCenter, sol.Position)
-	lionErrMinus = estimate(s.ant3D.PhysicalCenter, sol.Position)
-
-	// DAH 3-D: subsample the observations to bound the grid-scan cost, as
-	// even the paper shrinks the 3-D search volume to (20 cm)³.
 	sub := rel
 	if len(sub) > 150 {
 		step := len(sub) / 150
@@ -176,21 +148,82 @@ func (s *fig13Setup) trial3D(dahStep float64) (lionErrPlus, lionErrMinus, dahErr
 		}
 		sub = ds
 	}
+	t.in3D = in
+	t.sub3D = sub
+	t.p03D = p0
+	t.true3D = s.ant3D.PhaseCenter().Sub(p0)
+	return nil
+}
+
+// solve2D runs both solvers on a pre-generated 2-D trial.
+func (s *fig13Setup) solve2D(t *fig13Trial, dahStep float64, r *fig13Result) error {
+	start := time.Now()
+	sol, err := core.Locate2DLine(t.rel2D, s.tb.lambda, 0.2, true, core.DefaultSolveOptions())
+	if err != nil {
+		return err
+	}
+	r.lionTime2D = time.Since(start)
+
+	estimate := func(anchor geom.Vec3, tHat geom.Vec3) float64 {
+		p0Hat := anchor.Sub(tHat)
+		return p0Hat.XY().Dist(t.p02D.XY())
+	}
+	r.lionPlus2D = estimate(s.calib2D.EstimatedCenter, sol.Position)
+	r.lionMinus2D = estimate(s.ant2D.PhysicalCenter, sol.Position)
+
+	// DAH over a 20 cm box around the true relative antenna position
+	// (the paper reduces the search area the same way).
 	start = time.Now()
-	hres, err := hologram.Locate(sub, hologram.Config{
+	hres, err := hologram.Locate(t.rel2D, hologram.Config{
 		Lambda:   s.tb.lambda,
-		GridMin:  trueT.Add(geom.V3(-0.1, -0.1, -0.1)),
-		GridMax:  trueT.Add(geom.V3(0.1, 0.1, 0.1)),
+		GridMin:  t.true2D.Add(geom.V3(-0.1, -0.1, 0)),
+		GridMax:  t.true2D.Add(geom.V3(0.1, 0.1, 0)),
 		GridStep: dahStep,
 		Weighted: true,
 	})
 	if err != nil {
-		return 0, 0, 0, 0, 0, 0, err
+		return err
 	}
-	dahTime = time.Since(start)
-	dahErrPlus = estimate(s.calib3D.EstimatedCenter, hres.Position)
-	dahErrMinus = estimate(s.ant3D.PhysicalCenter, hres.Position)
-	return lionErrPlus, lionErrMinus, dahErrPlus, dahErrMinus, lionTime, dahTime, nil
+	r.dahTime2D = time.Since(start)
+	hpos := hres.Position
+	hpos.Z = 0
+	r.dahPlus2D = estimate(s.calib2D.EstimatedCenter, hpos)
+	r.dahMinus2D = estimate(s.ant2D.PhysicalCenter, hpos)
+	return nil
+}
+
+// solve3D runs both solvers on a pre-generated 3-D trial.
+func (s *fig13Setup) solve3D(t *fig13Trial, dahStep float64, r *fig13Result) error {
+	start := time.Now()
+	twoOpts := core.DefaultStructuredOptions()
+	twoOpts.Intervals = []float64{0.2, 0.4, 0.7} // long pairs pin d_r and z
+	sol, err := core.LocateTwoLine(t.in3D, true, twoOpts)
+	if err != nil {
+		return err
+	}
+	r.lionTime3D = time.Since(start)
+
+	estimate := func(anchor geom.Vec3, tHat geom.Vec3) float64 {
+		return anchor.Sub(tHat).Dist(t.p03D)
+	}
+	r.lionPlus3D = estimate(s.calib3D.EstimatedCenter, sol.Position)
+	r.lionMinus3D = estimate(s.ant3D.PhysicalCenter, sol.Position)
+
+	start = time.Now()
+	hres, err := hologram.Locate(t.sub3D, hologram.Config{
+		Lambda:   s.tb.lambda,
+		GridMin:  t.true3D.Add(geom.V3(-0.1, -0.1, -0.1)),
+		GridMax:  t.true3D.Add(geom.V3(0.1, 0.1, 0.1)),
+		GridStep: dahStep,
+		Weighted: true,
+	})
+	if err != nil {
+		return err
+	}
+	r.dahTime3D = time.Since(start)
+	r.dahPlus3D = estimate(s.calib3D.EstimatedCenter, hres.Position)
+	r.dahMinus3D = estimate(s.ant3D.PhysicalCenter, hres.Position)
+	return nil
 }
 
 // Fig13Overall reproduces the headline result: phase calibration improves
@@ -223,24 +256,45 @@ func Fig13Overall(cfg Config) ([]Fig13Row, *Table, error) {
 		a.timeSum += d
 	}
 
-	for trial := 0; trial < trials; trial++ {
-		lp, lm, dp, dm, lt, dt, err := s.trial2D(dahStep2D)
-		if err != nil {
+	// Phase 1 — serial: draw every trial's scan data from the seeded RNG in
+	// the fixed order (2-D then 3-D per trial, matching the serial harness).
+	inputs := make([]fig13Trial, trials)
+	for i := range inputs {
+		if err := s.gen2D(&inputs[i]); err != nil {
 			return nil, nil, err
 		}
-		add("2D+/LION", lp, lt)
-		add("2D-/LION", lm, lt)
-		add("2D+/DAH", dp, dt)
-		add("2D-/DAH", dm, dt)
+		if err := s.gen3D(&inputs[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Phase 2 — parallel: solve every trial on the worker pool. Each solve
+	// is a pure function of its pre-generated input, and solveTrials keys
+	// results by trial index, so the reduction below is order-identical to
+	// the serial loop.
+	results, err := solveTrials(cfg.Workers, trials, func(i int) (fig13Result, error) {
+		var r fig13Result
+		if err := s.solve2D(&inputs[i], dahStep2D, &r); err != nil {
+			return r, err
+		}
+		if err := s.solve3D(&inputs[i], dahStep3D, &r); err != nil {
+			return r, err
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Phase 3 — serial reduction in trial order.
+	for _, r := range results {
+		add("2D+/LION", r.lionPlus2D, r.lionTime2D)
+		add("2D-/LION", r.lionMinus2D, r.lionTime2D)
+		add("2D+/DAH", r.dahPlus2D, r.dahTime2D)
+		add("2D-/DAH", r.dahMinus2D, r.dahTime2D)
 
-		lp, lm, dp, dm, lt, dt, err = s.trial3D(dahStep3D)
-		if err != nil {
-			return nil, nil, err
-		}
-		add("3D+/LION", lp, lt)
-		add("3D-/LION", lm, lt)
-		add("3D+/DAH", dp, dt)
-		add("3D-/DAH", dm, dt)
+		add("3D+/LION", r.lionPlus3D, r.lionTime3D)
+		add("3D-/LION", r.lionMinus3D, r.lionTime3D)
+		add("3D+/DAH", r.dahPlus3D, r.dahTime3D)
+		add("3D-/DAH", r.dahMinus3D, r.dahTime3D)
 	}
 
 	order := []struct{ c, m string }{

@@ -55,6 +55,11 @@ func WrapPhase(theta float64) float64 {
 	t := math.Mod(theta, 2*math.Pi)
 	if t < 0 {
 		t += 2 * math.Pi
+		// Negative angles within one ulp of zero round up to exactly 2π,
+		// which would escape the half-open interval.
+		if t >= 2*math.Pi {
+			t = 0
+		}
 	}
 	return t
 }

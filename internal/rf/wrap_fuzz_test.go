@@ -1,0 +1,46 @@
+package rf
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzWrapPhase checks the wrap invariants over arbitrary angles: the
+// result lies in [0, 2π), wrapping is idempotent (a second wrap is exactly
+// the identity), and the signed variant is the same angle expressed in
+// (−π, π].
+func FuzzWrapPhase(f *testing.F) {
+	for _, seed := range []float64{
+		0, 1, -1, math.Pi, -math.Pi, 2 * math.Pi, -2 * math.Pi,
+		6.3, -6.3, 1e9, -1e9, 1e-300, -1e-300, 4 * math.Pi,
+		math.Nextafter(2*math.Pi, 0), math.Nextafter(0, -1),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, theta float64) {
+		if math.IsNaN(theta) || math.IsInf(theta, 0) {
+			t.Skip("non-finite input")
+		}
+		w := WrapPhase(theta)
+		if !(w >= 0 && w < 2*math.Pi) {
+			t.Fatalf("WrapPhase(%v) = %v outside [0, 2π)", theta, w)
+		}
+		if ww := WrapPhase(w); ww != w {
+			t.Fatalf("double wrap not idempotent: WrapPhase(%v) = %v, then %v", theta, w, ww)
+		}
+		s := WrapPhaseSigned(theta)
+		if !(s > -math.Pi && s <= math.Pi) {
+			t.Fatalf("WrapPhaseSigned(%v) = %v outside (−π, π]", theta, s)
+		}
+		// The signed and unsigned wraps must be the same angle: they differ
+		// by exactly 0 or 2π, and re-wrapping the signed value recovers w.
+		switch {
+		case s == w, s == w-2*math.Pi:
+		default:
+			t.Fatalf("signed wrap %v inconsistent with unsigned %v (input %v)", s, w, theta)
+		}
+		if back := WrapPhase(s); back != w {
+			t.Fatalf("WrapPhase(WrapPhaseSigned(%v)) = %v, want %v", theta, back, w)
+		}
+	})
+}

@@ -43,3 +43,26 @@ func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 // Fork returns a new RNG deterministically derived from this one. Use it to
 // give each simulated device an independent but reproducible stream.
 func (g *RNG) Fork() *RNG { return NewRNG(g.r.Int63()) }
+
+// SplitSeed derives a decorrelated seed for one worker of a pool from a base
+// seed, using a splitmix64-style finalising mix. Nearby (seed, worker)
+// pairs map to distant seeds, so worker streams do not overlap in practice,
+// and the derivation is pure: the same pair always yields the same seed,
+// independent of the order workers start in.
+func SplitSeed(seed int64, worker int) int64 {
+	z := uint64(seed) + uint64(worker+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// NewWorkerRNG returns the deterministic generator for one worker of a
+// pool. RNG is not safe for concurrent use (see the type comment), so
+// parallel code must create exactly one per worker; this constructor makes
+// the per-worker split explicit and reproducible.
+func NewWorkerRNG(seed int64, worker int) *RNG {
+	return NewRNG(SplitSeed(seed, worker))
+}

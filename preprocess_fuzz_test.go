@@ -1,0 +1,100 @@
+package lion_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	lion "github.com/rfid-lion/lion"
+)
+
+// FuzzPreprocess drives lion.Preprocess with generated phase profiles over
+// the full window-parameter space, covering the edge cases n = 0 and 1,
+// even windows, and windows longer than the profile. Invariants: even
+// windows > 1 are rejected; everything else succeeds with one output record
+// per input whose positions pass through unchanged; without smoothing the
+// unwrapped profile re-wraps to the input and stays 2π-jump free.
+func FuzzPreprocess(f *testing.F) {
+	f.Add(uint8(0), 0, int64(1))
+	f.Add(uint8(1), 1, int64(2))
+	f.Add(uint8(5), 4, int64(3)) // even window → error
+	f.Add(uint8(3), 9, int64(4)) // window > len, odd → truncated, fine
+	f.Add(uint8(50), 101, int64(5))
+	f.Add(uint8(200), 7, int64(6))
+	f.Fuzz(func(t *testing.T, n uint8, window int, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		positions := make([]lion.Vec3, n)
+		wrapped := make([]float64, n)
+		theta := rng.Float64() * 2 * math.Pi
+		for i := range positions {
+			positions[i] = lion.V3(float64(i)*0.01, rng.Float64(), rng.Float64())
+			// A bounded random walk keeps consecutive samples within π, the
+			// regime unwrapping is defined for.
+			theta += rng.NormFloat64() * 0.5
+			wrapped[i] = lion.WrapPhase(theta)
+		}
+
+		obs, err := lion.Preprocess(positions, wrapped, window)
+		if window > 1 && window%2 == 0 {
+			if err == nil {
+				t.Fatalf("even window %d accepted", window)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Preprocess(n=%d, window=%d): %v", n, window, err)
+		}
+		if len(obs) != int(n) {
+			t.Fatalf("%d records for %d inputs", len(obs), n)
+		}
+		for i, o := range obs {
+			if o.Pos != positions[i] {
+				t.Fatalf("record %d position changed: %v vs %v", i, o.Pos, positions[i])
+			}
+			if math.IsNaN(o.Theta) || math.IsInf(o.Theta, 0) {
+				t.Fatalf("record %d non-finite theta %v", i, o.Theta)
+			}
+		}
+		if window <= 1 {
+			// No smoothing: the unwrapped profile must re-wrap to the input
+			// and be free of 2π jumps between consecutive samples.
+			for i, o := range obs {
+				diff := math.Abs(lion.WrapPhase(o.Theta) - wrapped[i])
+				if diff > math.Pi {
+					diff = 2*math.Pi - diff
+				}
+				if diff > 1e-6 {
+					t.Fatalf("record %d: unwrap changed the angle by %v", i, diff)
+				}
+				if i > 0 {
+					if d := math.Abs(o.Theta - obs[i-1].Theta); d >= math.Pi+1e-9 {
+						t.Fatalf("jump of %v rad between records %d and %d", d, i-1, i)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestPreprocessFuzzSeedsDirect pins the documented edge cases so they are
+// exercised even in plain `go test` runs without the fuzzing engine.
+func TestPreprocessFuzzSeedsDirect(t *testing.T) {
+	if obs, err := lion.Preprocess(nil, nil, 0); err != nil || len(obs) != 0 {
+		t.Errorf("empty input: obs %v err %v", obs, err)
+	}
+	one := []lion.Vec3{lion.V3(0, 0, 0)}
+	if obs, err := lion.Preprocess(one, []float64{1.5}, 1); err != nil || len(obs) != 1 {
+		t.Errorf("single sample: obs %v err %v", obs, err)
+	}
+	// Odd window longer than the profile truncates at the boundaries.
+	if _, err := lion.Preprocess(one, []float64{1.5}, 9); err != nil {
+		t.Errorf("window > len rejected: %v", err)
+	}
+	if _, err := lion.Preprocess(one, []float64{1.5}, 2); err == nil {
+		t.Error("even window accepted")
+	}
+	if _, err := lion.Preprocess(one, []float64{1, 2}, 0); !errors.Is(err, lion.ErrTooFewObservations) {
+		t.Error("length mismatch accepted")
+	}
+}
