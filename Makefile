@@ -1,11 +1,17 @@
 GO ?= go
 
-.PHONY: check vet build test race bench fuzz
+.PHONY: check fmt vet build test race bench fuzz serve-smoke
 
-## check: the CI gate — vet, build, and the full suite under the race
-## detector (includes the 1k-job batch stress test and the serial/parallel
-## equivalence tests).
-check: vet build race
+## check: the CI gate — formatting, vet, build, and the full suite under the
+## race detector (includes the 1k-job batch stress test, the stream
+## concurrent-publisher stress test, and the serial/parallel equivalence
+## tests).
+check: fmt vet build race
+
+## fmt: fail if any file needs gofmt.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -22,8 +28,15 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
-## fuzz: short fuzzing passes over the phase-wrap and preprocessing
-## invariants (their seed corpora also run in every plain `go test`).
+## serve-smoke: end-to-end liond check — start the daemon on a random port,
+## push a replayed NDJSON trace over HTTP, assert a 200 estimate, and verify
+## the graceful drain.
+serve-smoke:
+	$(GO) test ./cmd/liond -run TestServeSmoke -count=1 -v
+
+## fuzz: short fuzzing passes over the phase-wrap, preprocessing, and ingest
+## decoding invariants (their seed corpora also run in every plain `go test`).
 fuzz:
 	$(GO) test -fuzz FuzzWrapPhase -fuzztime 30s ./internal/rf
 	$(GO) test -run '^$$' -fuzz FuzzPreprocess -fuzztime 30s .
+	$(GO) test -run '^$$' -fuzz FuzzIngestDecode -fuzztime 30s ./internal/dataset

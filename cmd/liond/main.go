@@ -1,0 +1,351 @@
+// Command liond is the real-time streaming localization daemon: it ingests
+// timestamped phase reports over HTTP/JSON, maintains per-tag sliding
+// windows, solves them continuously with the LION linear localizer, and
+// serves the latest estimate per tag.
+//
+// Example session (see README.md for the full quickstart):
+//
+//	liond -addr :8077 &
+//	lionsim -scenario linear -format ndjson |
+//	    curl -s --data-binary @- http://localhost:8077/v1/samples
+//	curl -s http://localhost:8077/v1/tags/T1/estimate
+//
+// Endpoints:
+//
+//	POST /v1/samples               NDJSON lines or {"samples":[...]}
+//	GET  /v1/tags                  known tag ids
+//	GET  /v1/tags/{id}/estimate    latest estimate for one tag
+//	GET  /healthz                  liveness
+//	GET  /metrics                  Prometheus-style counters and latencies
+//
+// On SIGINT/SIGTERM the daemon stops accepting requests, gives every dirty
+// window a final solve, waits for in-flight solves to drain, and exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/core"
+	"github.com/rfid-lion/lion/internal/dataset"
+	"github.com/rfid-lion/lion/internal/rf"
+	"github.com/rfid-lion/lion/internal/stream"
+)
+
+// maxIngestBody bounds one POST /v1/samples body (64 MiB).
+const maxIngestBody = 64 << 20
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "liond:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr  string
+	drain time.Duration
+	cfg   stream.Config
+}
+
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("liond", flag.ContinueOnError)
+	var (
+		addr   = fs.String("addr", ":8077", "listen address")
+		lambda = fs.Float64("lambda", 0, "carrier wavelength, m (0 = paper's 920.625 MHz band)")
+		solver = fs.String("solver", "line",
+			"window solver: line (2-D lower-dimension), 2d, 3d")
+		intervals = fs.String("intervals", "0.2",
+			"comma-separated pairing intervals for the line solver, m")
+		stride = fs.Int("stride", 0,
+			"pairing stride for the 2d/3d solvers (0 = quarter window)")
+		side = fs.Bool("positive-side", true,
+			"line solver: target on the +90° side of the scan direction")
+		window = fs.Int("window", 256, "sliding window capacity, samples")
+		span   = fs.Duration("span", 0, "sliding window time-span (0 = unbounded)")
+		minS   = fs.Int("min", 8, "minimum window length before solving")
+		every  = fs.Int("every", 16, "solve every N accepted samples")
+		smooth = fs.Int("smooth", 9, "phase smoothing window (odd, 0 = off)")
+		reject = fs.Bool("reject-newest", false,
+			"refuse samples at a full window instead of evicting the oldest")
+		workers = fs.Int("workers", 0, "solve pool size (0 = GOMAXPROCS)")
+		timeout = fs.Duration("solve-timeout", 0, "per-window solve timeout (0 = none)")
+		drain   = fs.Duration("drain", 10*time.Second, "shutdown drain timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	lam := *lambda
+	if lam == 0 {
+		lam = rf.DefaultBand().Wavelength()
+	}
+	var ivs []float64
+	for _, part := range strings.Split(*intervals, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("interval %q: %w", part, err)
+		}
+		ivs = append(ivs, v)
+	}
+	sv, err := buildSolver(*solver, lam, ivs, *stride, *side)
+	if err != nil {
+		return nil, err
+	}
+	policy := stream.EvictOldest
+	if *reject {
+		policy = stream.RejectNewest
+	}
+	return &config{
+		addr:  *addr,
+		drain: *drain,
+		cfg: stream.Config{
+			WindowSize: *window,
+			WindowSpan: *span,
+			MinSamples: *minS,
+			SolveEvery: *every,
+			Smooth:     *smooth,
+			Policy:     policy,
+			Workers:    *workers,
+			JobTimeout: *timeout,
+			Solver:     sv,
+		},
+	}, nil
+}
+
+func buildSolver(name string, lambda float64, intervals []float64, stride int, positiveSide bool) (stream.Solver, error) {
+	opts := core.DefaultSolveOptions()
+	switch name {
+	case "line":
+		if len(intervals) == 0 {
+			return nil, errors.New("line solver needs at least one interval")
+		}
+		return stream.Line2DSolver(lambda, intervals, positiveSide, opts), nil
+	case "2d":
+		return stream.Free2DSolver(lambda, stride, opts), nil
+	case "3d":
+		return stream.Free3DSolver(lambda, stride, opts), nil
+	default:
+		return nil, fmt.Errorf("unknown solver %q (want line, 2d or 3d)", name)
+	}
+}
+
+func run(args []string) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	eng, err := stream.New(cfg.cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("liond: listening on %s (window=%d every=%d workers=%d)",
+		ln.Addr(), cfg.cfg.WindowSize, cfg.cfg.SolveEvery, cfg.cfg.Workers)
+	return serve(ctx, ln, eng, cfg.drain)
+}
+
+// serve runs the HTTP server on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes first so no new samples arrive, and the
+// engine drains every in-flight and dirty window before serve returns.
+func serve(ctx context.Context, ln net.Listener, eng *stream.Engine, drain time.Duration) error {
+	srv := &http.Server{
+		Handler:           newServer(eng).routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		eng.Close(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("liond: http shutdown: %v", err)
+	}
+	if err := eng.Close(shutCtx); err != nil && !errors.Is(err, stream.ErrClosed) {
+		return fmt.Errorf("drain: %w", err)
+	}
+	m := eng.Metrics()
+	log.Printf("liond: drained — %d samples ingested, %d solves (%d errors), %d dropped",
+		m.Ingested, m.Solves, m.SolveErrors, m.DroppedOverflow+m.DroppedAge)
+	return nil
+}
+
+type server struct {
+	eng   *stream.Engine
+	start time.Time
+}
+
+func newServer(eng *stream.Engine) *server {
+	return &server{eng: eng, start: time.Now()}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/samples", s.handleIngest)
+	mux.HandleFunc("GET /v1/tags", s.handleTags)
+	mux.HandleFunc("GET /v1/tags/{id}/estimate", s.handleEstimate)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	samples, err := dataset.DecodeIngest(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	accepted, dropped := 0, 0
+	for _, ts := range samples {
+		sm := ts.Sample()
+		err := s.eng.Ingest(ts.Tag, stream.FromSim(sm))
+		switch {
+		case err == nil:
+			accepted++
+		case errors.Is(err, stream.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		default:
+			// RejectNewest overflow or a non-finite sample: count and go on,
+			// one bad sample must not poison the rest of the batch.
+			dropped++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": accepted, "dropped": dropped})
+}
+
+func (s *server) handleTags(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"tags": s.eng.Tags()})
+}
+
+// estimateJSON is the wire form of one estimate. Unknown coordinates (NaN)
+// marshal as null.
+type estimateJSON struct {
+	Tag       string   `json:"tag"`
+	Seq       uint64   `json:"seq"`
+	Window    int      `json:"window"`
+	FromS     float64  `json:"from_s"`
+	ToS       float64  `json:"to_s"`
+	X         *float64 `json:"x_m"`
+	Y         *float64 `json:"y_m"`
+	Z         *float64 `json:"z_m"`
+	RefDist   *float64 `json:"ref_distance_m,omitempty"`
+	RMSResid  *float64 `json:"rms_residual,omitempty"`
+	LatencyMS float64  `json:"solve_latency_ms"`
+	Error     string   `json:"error,omitempty"`
+}
+
+func fnum(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	tag := r.PathValue("id")
+	est, ok := s.eng.Latest(tag)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no estimate for tag %q", tag))
+		return
+	}
+	out := estimateJSON{
+		Tag:       est.Tag,
+		Seq:       est.Seq,
+		Window:    est.Window,
+		FromS:     est.From.Seconds(),
+		ToS:       est.To.Seconds(),
+		LatencyMS: float64(est.Latency) / float64(time.Millisecond),
+	}
+	if est.Err != nil {
+		out.Error = est.Err.Error()
+	}
+	if sol := est.Solution; sol != nil {
+		out.X = fnum(sol.Position.X)
+		out.Y = fnum(sol.Position.Y)
+		out.Z = fnum(sol.Position.Z)
+		out.RefDist = fnum(sol.RefDistance)
+		out.RMSResid = fnum(sol.RMSResidual)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.eng.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	writeMetrics(w, m, time.Since(s.start).Seconds())
+}
+
+// writeMetrics renders the Prometheus exposition. Split out for testing.
+func writeMetrics(w io.Writer, m stream.Metrics, uptime float64) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+	p("# TYPE liond_uptime_seconds gauge")
+	p("liond_uptime_seconds %g", uptime)
+	p("# TYPE liond_tags gauge")
+	p("liond_tags %d", m.Tags)
+	p("# TYPE liond_ingested_total counter")
+	p("liond_ingested_total %d", m.Ingested)
+	p("# TYPE liond_rejected_total counter")
+	p("liond_rejected_total %d", m.Rejected)
+	p("# TYPE liond_dropped_total counter")
+	p(`liond_dropped_total{reason="overflow"} %d`, m.DroppedOverflow)
+	p(`liond_dropped_total{reason="age"} %d`, m.DroppedAge)
+	p(`liond_dropped_total{reason="subscriber"} %d`, m.SubDropped)
+	p("# TYPE liond_coalesced_total counter")
+	p("liond_coalesced_total %d", m.Coalesced)
+	p("# TYPE liond_solves_total counter")
+	p("liond_solves_total %d", m.Solves)
+	p("# TYPE liond_solve_errors_total counter")
+	p("liond_solve_errors_total %d", m.SolveErrors)
+	p("# TYPE liond_solve_queue_depth gauge")
+	p("liond_solve_queue_depth %d", m.QueueDepth)
+	p("# TYPE liond_solve_latency_seconds summary")
+	p(`liond_solve_latency_seconds{quantile="0.5"} %g`, m.LatencyP50)
+	p(`liond_solve_latency_seconds{quantile="0.9"} %g`, m.LatencyP90)
+	p(`liond_solve_latency_seconds{quantile="0.99"} %g`, m.LatencyP99)
+	p("liond_solve_latency_seconds_count %d", m.LatencyCount)
+}

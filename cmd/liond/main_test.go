@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/dataset"
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/sim"
+	"github.com/rfid-lion/lion/internal/stream"
+	"github.com/rfid-lion/lion/internal/traject"
+)
+
+func smokeTrace(t *testing.T) []sim.Sample {
+	t.Helper()
+	env, err := sim.NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := sim.NewReader(env, sim.ReaderConfig{RateHz: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ant := &sim.Antenna{
+		PhysicalCenter:    geom.V3(0.1, 0.8, 0),
+		PhaseCenterOffset: geom.V3(0.02, -0.015, 0),
+		PhaseOffset:       2.74,
+	}
+	trj, err := traject.NewLinear(geom.V3(-0.6, 0, 0), geom.V3(0.6, 0, 0), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := reader.Scan(ant, &sim.Tag{PhaseOffset: 0.4}, trj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+// TestServeSmoke is the end-to-end daemon check behind `make serve-smoke`:
+// start the production serve loop on a random port, push an NDJSON trace
+// over real HTTP, read the estimate back, and shut down cleanly.
+func TestServeSmoke(t *testing.T) {
+	cfg, err := parseFlags([]string{"-intervals", "0.1", "-every", "32", "-workers", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := stream.New(cfg.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- serve(ctx, ln, eng, 5*time.Second) }()
+	base := "http://" + ln.Addr().String()
+
+	// healthz answers before any traffic.
+	body := getOK(t, base+"/healthz")
+	if !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("healthz: %s", body)
+	}
+
+	// Unknown tag before ingest: 404.
+	if code, _ := get(t, base+"/v1/tags/NOPE/estimate"); code != http.StatusNotFound {
+		t.Fatalf("unknown tag status %d, want 404", code)
+	}
+
+	// Garbage body: 400, daemon survives.
+	resp, err := http.Post(base+"/v1/samples", "application/x-ndjson",
+		strings.NewReader("this is not json\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage ingest status %d, want 400", resp.StatusCode)
+	}
+
+	// Replay the recorded trace as one NDJSON POST.
+	trace := smokeTrace(t)
+	var buf bytes.Buffer
+	if err := dataset.WriteNDJSON(&buf, "T1", trace); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/samples", "application/x-ndjson", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest := struct{ Accepted, Dropped int }{}
+	if err := json.NewDecoder(resp.Body).Decode(&ingest); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ingest.Accepted != len(trace) || ingest.Dropped != 0 {
+		t.Fatalf("ingest: status %d accepted %d dropped %d (want 200/%d/0)",
+			resp.StatusCode, ingest.Accepted, ingest.Dropped, len(trace))
+	}
+
+	// Solves run asynchronously; poll briefly for the estimate.
+	var est estimateJSON
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, body := get(t, base+"/v1/tags/T1/estimate")
+		if code == http.StatusOK {
+			if err := json.Unmarshal([]byte(body), &est); err != nil {
+				t.Fatalf("estimate decode: %v in %s", err, body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no estimate after ingest (last status %d)", code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if est.Tag != "T1" || est.Error != "" || est.X == nil || est.Y == nil {
+		t.Fatalf("estimate: %+v", est)
+	}
+	if *est.Y < 0.5 || *est.Y > 1.1 {
+		t.Errorf("estimated depth %.3f m implausible for a 0.785 m truth", *est.Y)
+	}
+
+	// Tag listing includes T1.
+	if body := getOK(t, base+"/v1/tags"); !strings.Contains(body, `"T1"`) {
+		t.Errorf("tags: %s", body)
+	}
+
+	// Metrics exposition carries the ingest counter.
+	metrics := getOK(t, base+"/metrics")
+	want := fmt.Sprintf("liond_ingested_total %d", len(trace))
+	if !strings.Contains(metrics, want) {
+		t.Errorf("metrics missing %q:\n%s", want, metrics)
+	}
+	if !strings.Contains(metrics, "liond_solve_latency_seconds_count") {
+		t.Error("metrics missing latency summary")
+	}
+
+	// Graceful shutdown: cancel the serve context and wait for the drain.
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+	// The engine refuses ingest after the drain: fully closed.
+	if err := eng.Ingest("T1", stream.Sample{Phase: 1}); err != stream.ErrClosed {
+		t.Errorf("post-shutdown ingest err = %v, want ErrClosed", err)
+	}
+}
+
+func TestParseFlagsRejectsBadSolver(t *testing.T) {
+	if _, err := parseFlags([]string{"-solver", "warp"}); err == nil {
+		t.Error("unknown solver accepted")
+	}
+	if _, err := parseFlags([]string{"-intervals", "abc"}); err == nil {
+		t.Error("malformed interval accepted")
+	}
+	if _, err := parseFlags([]string{"-solver", "line", "-intervals", ""}); err == nil {
+		t.Error("line solver with no intervals accepted")
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func getOK(t *testing.T, url string) string {
+	t.Helper()
+	code, body := get(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, code, body)
+	}
+	return body
+}

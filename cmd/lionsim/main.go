@@ -34,7 +34,10 @@ func run(args []string) error {
 	var (
 		scenario = fs.String("scenario", "threeline",
 			"trajectory: linear, threeline, twoline, circle")
-		out   = fs.String("o", "", "output CSV path (default stdout)")
+		out    = fs.String("o", "", "output path (default stdout)")
+		format = fs.String("format", "csv",
+			"output format: csv, or ndjson (liond ingest lines)")
+		tagID = fs.String("tag", "T1", "tag id (stamped on ndjson output)")
 		seed  = fs.Int64("seed", 1, "random seed")
 		noise = fs.Float64("noise", sim.DefaultPhaseNoiseStd,
 			"phase noise std, radians")
@@ -90,7 +93,7 @@ func run(args []string) error {
 		PhaseCenterOffset: geom.V3(*dx, *dy, *dz),
 		PhaseOffset:       *offset,
 	}
-	tag := &lion.Tag{ID: "T1", PhaseOffset: *tagOffset}
+	tag := &lion.Tag{ID: *tagID, PhaseOffset: *tagOffset}
 
 	var trj traject.Trajectory
 	half := *span / 2
@@ -127,7 +130,15 @@ func run(args []string) error {
 		defer f.Close()
 		w = f
 	}
-	if err := dataset.Write(w, samples); err != nil {
+	switch *format {
+	case "csv":
+		err = dataset.Write(w, samples)
+	case "ndjson":
+		err = dataset.WriteNDJSON(w, tag.ID, samples)
+	default:
+		err = fmt.Errorf("unknown format %q (want csv or ndjson)", *format)
+	}
+	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr,

@@ -87,3 +87,46 @@ func TestRoundTripWithLioncalFormat(t *testing.T) {
 		}
 	}
 }
+
+func TestNDJSONFormatRoundTrip(t *testing.T) {
+	// `lionsim -format ndjson` output must decode through the liond ingest
+	// path with the tag id preserved and samples intact.
+	out := filepath.Join(t.TempDir(), "scan.ndjson")
+	err := run([]string{
+		"-scenario", "linear", "-format", "ndjson", "-tag", "DOCK-7",
+		"-o", out, "-rate", "50",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tagged, err := dataset.DecodeIngest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tagged) < 50 {
+		t.Fatalf("only %d samples", len(tagged))
+	}
+	for i, ts := range tagged {
+		if ts.Tag != "DOCK-7" {
+			t.Fatalf("sample %d tagged %q", i, ts.Tag)
+		}
+		s := ts.Sample()
+		if s.Phase < 0 || s.Phase >= 6.2832 {
+			t.Fatalf("phase %v out of range", s.Phase)
+		}
+		if i > 0 && s.TagPos.X <= tagged[i-1].Sample().TagPos.X {
+			t.Fatalf("positions not increasing at %d", i)
+		}
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	if err := run([]string{"-format", "xml"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Submit after Close has been called.
+var ErrPoolClosed = errors.New("batch: pool closed")
+
+// Pool is the persistent sibling of Engine: the same bounded workers, per-job
+// timeout, and panic recovery, but accepting jobs over time instead of one
+// slice per Run. It backs streaming workloads (internal/stream) where windows
+// arrive continuously and each completion must fire a callback.
+//
+// The queue is unbounded; callers that need back-pressure must bound their
+// own outstanding submissions (the stream engine keeps at most one queued
+// window per tag).
+type Pool struct {
+	runner *Engine
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []poolTask
+	closed bool
+	next   int
+	wg     sync.WaitGroup
+}
+
+type poolTask struct {
+	index int
+	job   Job
+	done  func(Outcome)
+}
+
+// NewPool starts the workers immediately. Zero or negative Workers means
+// runtime.GOMAXPROCS(0), as for New.
+func NewPool(opts Options) *Pool {
+	p := &Pool{runner: New(opts)}
+	p.cond = sync.NewCond(&p.mu)
+	for w := 0; w < p.runner.workers; w++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.runner.workers }
+
+// Submit enqueues one job. done, when non-nil, is invoked from a worker
+// goroutine with the job's outcome; Outcome.Index is the submission sequence
+// number. Submit never blocks on job execution.
+func (p *Pool) Submit(job Job, done func(Outcome)) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	p.queue = append(p.queue, poolTask{index: p.next, job: job, done: done})
+	p.next++
+	p.cond.Signal()
+	return nil
+}
+
+// Len returns the number of jobs queued but not yet picked up by a worker.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Close stops accepting submissions, drains every queued job, and waits for
+// running jobs (and their done callbacks) to finish. It is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		t := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		o := p.runner.runOne(context.Background(), t.index, t.job)
+		if t.done != nil {
+			t.done(o)
+		}
+	}
+}

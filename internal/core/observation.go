@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/rfid-lion/lion/internal/dsp"
 	"github.com/rfid-lion/lion/internal/geom"
@@ -23,6 +24,11 @@ var (
 	// ErrNoSolution is returned when the lower-dimension recovery has no
 	// real solution (d_r smaller than the in-plane displacement).
 	ErrNoSolution = errors.New("core: no real solution for the recovered coordinate")
+	// ErrNonFiniteInput is returned when an observation carries a NaN or
+	// infinite position or phase. Rejecting these at the solve boundary keeps
+	// malformed network input (the liond ingest path) from poisoning a WLS
+	// solve: one NaN anywhere in the system silently NaNs the whole estimate.
+	ErrNonFiniteInput = errors.New("core: non-finite observation input")
 )
 
 // PosPhase is one calibrated measurement: the known tag position and the
@@ -43,6 +49,16 @@ func Preprocess(positions []geom.Vec3, wrapped []float64, smoothWindow int) ([]P
 	if len(positions) != len(wrapped) {
 		return nil, fmt.Errorf("core: %d positions vs %d phases: %w",
 			len(positions), len(wrapped), ErrTooFewObservations)
+	}
+	for i, p := range positions {
+		if !p.IsFinite() {
+			return nil, fmt.Errorf("core: position %d is %v: %w", i, p, ErrNonFiniteInput)
+		}
+	}
+	for i, th := range wrapped {
+		if math.IsNaN(th) || math.IsInf(th, 0) {
+			return nil, fmt.Errorf("core: phase %d is %v: %w", i, th, ErrNonFiniteInput)
+		}
 	}
 	theta := dsp.Unwrap(wrapped)
 	if smoothWindow > 1 {
@@ -78,7 +94,7 @@ func NewProfile(obs []PosPhase, lambda float64) (*Profile, error) {
 
 // NewProfileRef builds a profile with an explicit reference index.
 func NewProfileRef(obs []PosPhase, lambda float64, refIndex int) (*Profile, error) {
-	if lambda <= 0 {
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
 		return nil, ErrBadLambda
 	}
 	if len(obs) < 2 {
@@ -87,6 +103,11 @@ func NewProfileRef(obs []PosPhase, lambda float64, refIndex int) (*Profile, erro
 	if refIndex < 0 || refIndex >= len(obs) {
 		return nil, fmt.Errorf("core: reference index %d out of range [0,%d)",
 			refIndex, len(obs))
+	}
+	for i, o := range obs {
+		if !o.Pos.IsFinite() || math.IsNaN(o.Theta) || math.IsInf(o.Theta, 0) {
+			return nil, fmt.Errorf("core: observation %d is %v: %w", i, o, ErrNonFiniteInput)
+		}
 	}
 	cp := make([]PosPhase, len(obs))
 	copy(cp, obs)

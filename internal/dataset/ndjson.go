@@ -1,0 +1,129 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/sim"
+)
+
+// TaggedSample is the wire form of one read in the liond ingest API: a tag
+// id plus the fields of the CSV format. It appears either as one JSON object
+// per line (NDJSON, what `lionsim -format ndjson` emits) or inside the
+// batched envelope {"samples": [...]}.
+type TaggedSample struct {
+	Tag     string  `json:"tag"`
+	TimeS   float64 `json:"time_s"`
+	X       float64 `json:"x_m"`
+	Y       float64 `json:"y_m"`
+	Z       float64 `json:"z_m"`
+	Phase   float64 `json:"phase_rad"`
+	RSSI    float64 `json:"rssi_dbm,omitempty"`
+	Segment int     `json:"segment,omitempty"`
+	Channel int     `json:"channel,omitempty"`
+}
+
+// Tagged couples a tag id with one simulator read.
+func Tagged(tag string, s sim.Sample) TaggedSample {
+	return TaggedSample{
+		Tag:     tag,
+		TimeS:   s.Time.Seconds(),
+		X:       s.TagPos.X,
+		Y:       s.TagPos.Y,
+		Z:       s.TagPos.Z,
+		Phase:   s.Phase,
+		RSSI:    s.RSSI,
+		Segment: s.Segment,
+		Channel: s.Channel,
+	}
+}
+
+// Sample converts the wire form back into a simulator read.
+func (t TaggedSample) Sample() sim.Sample {
+	return sim.Sample{
+		Time:    time.Duration(t.TimeS * float64(time.Second)),
+		TagPos:  geom.V3(t.X, t.Y, t.Z),
+		Phase:   t.Phase,
+		RSSI:    t.RSSI,
+		Segment: t.Segment,
+		Channel: t.Channel,
+	}
+}
+
+// Ingest decode limits: a hard cap on accepted samples per request and on
+// the magnitude of a timestamp (1e9 s ≈ 31 years keeps the conversion to
+// time.Duration far from int64 overflow).
+const (
+	MaxIngestSamples = 1 << 20
+	MaxIngestTimeS   = 1e9
+)
+
+// Errors returned by DecodeIngest.
+var (
+	// ErrIngestTooLarge is returned when a request exceeds MaxIngestSamples.
+	ErrIngestTooLarge = errors.New("dataset: ingest request too large")
+	// ErrIngestSample is returned for a structurally valid JSON value that is
+	// not a usable sample (missing tag, out-of-range timestamp).
+	ErrIngestSample = errors.New("dataset: bad ingest sample")
+)
+
+// ingestValue accepts both wire shapes: a bare sample object, or the batch
+// envelope. When Samples is non-nil the envelope wins.
+type ingestValue struct {
+	TaggedSample
+	Samples []TaggedSample `json:"samples"`
+}
+
+// WriteNDJSON streams samples to w as newline-delimited JSON ingest lines,
+// ready to pipe into liond's POST /v1/samples.
+func WriteNDJSON(w io.Writer, tag string, samples []sim.Sample) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, s := range samples {
+		if err := enc.Encode(Tagged(tag, s)); err != nil {
+			return fmt.Errorf("dataset: encode sample %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeIngest parses an ingest request body: any mix of NDJSON sample lines
+// and {"samples": [...]} envelopes, concatenated. Every returned sample has
+// a non-empty tag and a timestamp within ±MaxIngestTimeS seconds; phases and
+// coordinates are finite by construction (JSON cannot encode NaN or ±Inf,
+// and out-of-range numbers fail to decode).
+func DecodeIngest(r io.Reader) ([]TaggedSample, error) {
+	dec := json.NewDecoder(r)
+	var out []TaggedSample
+	for {
+		var v ingestValue
+		if err := dec.Decode(&v); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("dataset: decode ingest: %w", err)
+		}
+		batch := v.Samples
+		if batch == nil {
+			batch = []TaggedSample{v.TaggedSample}
+		}
+		if len(out)+len(batch) > MaxIngestSamples {
+			return nil, fmt.Errorf("%w: over %d samples", ErrIngestTooLarge, MaxIngestSamples)
+		}
+		for i, ts := range batch {
+			if ts.Tag == "" {
+				return nil, fmt.Errorf("%w: sample %d has no tag", ErrIngestSample, len(out)+i)
+			}
+			if math.Abs(ts.TimeS) > MaxIngestTimeS {
+				return nil, fmt.Errorf("%w: sample %d time %v out of range", ErrIngestSample, len(out)+i, ts.TimeS)
+			}
+		}
+		out = append(out, batch...)
+	}
+}

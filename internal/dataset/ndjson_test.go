@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/sim"
+)
+
+func ndjsonTrace() []sim.Sample {
+	return []sim.Sample{
+		{Time: 0, TagPos: geom.V3(-0.5, 0, 0), Phase: 1.25, RSSI: -48.5, Segment: 1, Channel: 0},
+		{Time: 10 * time.Millisecond, TagPos: geom.V3(-0.49, 0, 0), Phase: 1.5, RSSI: -48.6, Segment: 1, Channel: 2},
+		{Time: 20 * time.Millisecond, TagPos: geom.V3(-0.48, 0, 0.125), Phase: 6.2, RSSI: -49.5, Segment: 2, Channel: 1},
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	trace := ndjsonTrace()
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, "T7", trace); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := DecodeIngest(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(trace) {
+		t.Fatalf("decoded %d samples, want %d", len(got), len(trace))
+	}
+	for i, ts := range got {
+		if ts.Tag != "T7" {
+			t.Errorf("sample %d tag %q", i, ts.Tag)
+		}
+		if !reflect.DeepEqual(ts.Sample(), trace[i]) {
+			t.Errorf("sample %d round-trip:\n got %+v\nwant %+v", i, ts.Sample(), trace[i])
+		}
+	}
+}
+
+func TestDecodeIngestEnvelope(t *testing.T) {
+	body := `{"samples":[{"tag":"A","time_s":0.5,"x_m":1,"y_m":2,"z_m":3,"phase_rad":0.25},` +
+		`{"tag":"B","time_s":0.6,"x_m":1,"y_m":2,"z_m":3,"phase_rad":0.5}]}`
+	got, err := DecodeIngest(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != 2 || got[0].Tag != "A" || got[1].Tag != "B" {
+		t.Fatalf("decoded %+v", got)
+	}
+	if got[0].Sample().Time != 500*time.Millisecond {
+		t.Errorf("time = %v", got[0].Sample().Time)
+	}
+}
+
+func TestDecodeIngestMixedShapes(t *testing.T) {
+	body := `{"tag":"A","time_s":0,"x_m":0,"y_m":0,"z_m":0,"phase_rad":1}
+{"samples":[{"tag":"B","time_s":1,"x_m":0,"y_m":0,"z_m":0,"phase_rad":2}]}
+{"tag":"C","time_s":2,"x_m":0,"y_m":0,"z_m":0,"phase_rad":3}`
+	got, err := DecodeIngest(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != 3 || got[0].Tag != "A" || got[1].Tag != "B" || got[2].Tag != "C" {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestDecodeIngestRejections(t *testing.T) {
+	cases := []struct {
+		name, body string
+		wantErr    error
+	}{
+		{"missing tag", `{"time_s":0,"phase_rad":1}`, ErrIngestSample},
+		{"missing tag in envelope", `{"samples":[{"time_s":0,"phase_rad":1}]}`, ErrIngestSample},
+		{"huge timestamp", `{"tag":"A","time_s":1e12,"phase_rad":1}`, ErrIngestSample},
+		{"broken json", `{"tag":"A",`, nil},
+		{"non-object", `[1,2,3]`, nil},
+		{"nan is invalid json", `{"tag":"A","time_s":NaN,"phase_rad":1}`, nil},
+		{"overflow number", `{"tag":"A","time_s":0,"phase_rad":1e999}`, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeIngest(strings.NewReader(tc.body))
+			if err == nil {
+				t.Fatalf("body %q accepted", tc.body)
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Errorf("err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDecodeIngestEmpty(t *testing.T) {
+	got, err := DecodeIngest(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty body: %v, %v", got, err)
+	}
+}
+
+// FuzzIngestDecode asserts the decoder never panics and that every accepted
+// sample satisfies the documented invariants: non-empty tag, bounded
+// timestamp, finite numeric fields.
+func FuzzIngestDecode(f *testing.F) {
+	f.Add(`{"tag":"T1","time_s":0.01,"x_m":-0.5,"y_m":0,"z_m":0,"phase_rad":1.25,"rssi_dbm":-48.5}`)
+	f.Add(`{"samples":[{"tag":"A","time_s":0.5,"x_m":1,"y_m":2,"z_m":3,"phase_rad":0.25}]}`)
+	f.Add("{\"tag\":\"a\",\"time_s\":1}\n{\"tag\":\"b\",\"time_s\":2}")
+	f.Add(`{"samples":[]}`)
+	f.Add(``)
+	f.Add(`{"tag":"A"`)
+	f.Add(`{"tag":"A","time_s":1e400}`)
+	f.Add(`[{"tag":"A"}]`)
+	f.Add(`null`)
+	f.Add(`{"tag":"", "time_s":0}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		samples, err := DecodeIngest(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		for i, s := range samples {
+			if s.Tag == "" {
+				t.Errorf("sample %d accepted without tag", i)
+			}
+			if math.Abs(s.TimeS) > MaxIngestTimeS {
+				t.Errorf("sample %d time %v out of range", i, s.TimeS)
+			}
+			for _, v := range []float64{s.TimeS, s.X, s.Y, s.Z, s.Phase, s.RSSI} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("sample %d has non-finite field %v", i, v)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package stats
+
+// Recorder keeps the most recent observations of a metric in a fixed-size
+// ring, so long-running services (the liond daemon) can report latency
+// percentiles over a bounded, recent window instead of accumulating samples
+// forever. It is not safe for concurrent use; callers hold their own lock.
+type Recorder struct {
+	buf   []float64
+	n     int
+	next  int
+	total uint64
+}
+
+// NewRecorder returns a recorder keeping the last capacity observations.
+// Non-positive capacity defaults to 1024.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Recorder{buf: make([]float64, capacity)}
+}
+
+// Add records one observation, evicting the oldest when the ring is full.
+func (r *Recorder) Add(x float64) {
+	r.buf[r.next] = x
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.total++
+}
+
+// Count returns the total number of observations ever recorded (not just the
+// retained window).
+func (r *Recorder) Count() uint64 { return r.total }
+
+// Len returns the number of retained observations.
+func (r *Recorder) Len() int { return r.n }
+
+// Snapshot returns a copy of the retained observations in insertion order
+// (oldest first), or nil when empty.
+func (r *Recorder) Snapshot() []float64 {
+	if r.n == 0 {
+		return nil
+	}
+	out := make([]float64, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}

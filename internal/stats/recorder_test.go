@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRecorderEmpty(t *testing.T) {
+	r := NewRecorder(4)
+	if r.Snapshot() != nil {
+		t.Errorf("empty snapshot = %v, want nil", r.Snapshot())
+	}
+	if r.Count() != 0 || r.Len() != 0 {
+		t.Errorf("empty count/len = %d/%d", r.Count(), r.Len())
+	}
+}
+
+func TestRecorderPartialFill(t *testing.T) {
+	r := NewRecorder(4)
+	r.Add(1)
+	r.Add(2)
+	if got := r.Snapshot(); !reflect.DeepEqual(got, []float64{1, 2}) {
+		t.Errorf("snapshot = %v, want [1 2]", got)
+	}
+}
+
+func TestRecorderEvictsOldest(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 1; i <= 5; i++ {
+		r.Add(float64(i))
+	}
+	if got := r.Snapshot(); !reflect.DeepEqual(got, []float64{3, 4, 5}) {
+		t.Errorf("snapshot = %v, want [3 4 5]", got)
+	}
+	if r.Count() != 5 {
+		t.Errorf("count = %d, want 5", r.Count())
+	}
+	if r.Len() != 3 {
+		t.Errorf("len = %d, want 3", r.Len())
+	}
+}
+
+func TestRecorderDefaultCapacity(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 2000; i++ {
+		r.Add(float64(i))
+	}
+	if r.Len() != 1024 {
+		t.Errorf("len = %d, want default 1024", r.Len())
+	}
+	snap := r.Snapshot()
+	if snap[0] != 976 || snap[len(snap)-1] != 1999 {
+		t.Errorf("window [%v, %v], want [976, 1999]", snap[0], snap[len(snap)-1])
+	}
+}

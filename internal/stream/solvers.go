@@ -1,0 +1,43 @@
+package stream
+
+import (
+	"github.com/rfid-lion/lion/internal/core"
+)
+
+// Line2DSolver returns a Solver running core.Locate2DLineIntervals: the
+// lower-dimension 2-D case for tags moving along a straight line (conveyor
+// belts, sliding tracks). This is liond's default solver.
+func Line2DSolver(lambda float64, intervals []float64, positiveSide bool, opts core.SolveOptions) Solver {
+	ivs := make([]float64, len(intervals))
+	copy(ivs, intervals)
+	return func(obs []core.PosPhase) (*core.Solution, error) {
+		return core.Locate2DLineIntervals(obs, lambda, ivs, positiveSide, opts)
+	}
+}
+
+// Free2DSolver returns a Solver running core.Locate2D with stride pairing
+// over the window, for arbitrary known 2-D trajectories. A stride of zero
+// pairs each sample with the one a quarter-window ahead.
+func Free2DSolver(lambda float64, stride int, opts core.SolveOptions) Solver {
+	return func(obs []core.PosPhase) (*core.Solution, error) {
+		return core.Locate2D(obs, lambda, core.StridePairs(len(obs), strideFor(len(obs), stride)), opts)
+	}
+}
+
+// Free3DSolver is Free2DSolver for trajectories with full 3-D diversity.
+func Free3DSolver(lambda float64, stride int, opts core.SolveOptions) Solver {
+	return func(obs []core.PosPhase) (*core.Solution, error) {
+		return core.Locate3D(obs, lambda, core.StridePairs(len(obs), strideFor(len(obs), stride)), opts)
+	}
+}
+
+func strideFor(n, stride int) int {
+	if stride > 0 {
+		return stride
+	}
+	s := n / 4
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

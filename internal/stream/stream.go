@@ -1,0 +1,566 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/batch"
+	"github.com/rfid-lion/lion/internal/core"
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/stats"
+)
+
+// Errors returned by the stream engine.
+var (
+	// ErrClosed is returned by Ingest and Close once the engine has shut down.
+	ErrClosed = errors.New("stream: engine closed")
+	// ErrWindowFull is returned under the RejectNewest policy when a sample
+	// arrives at a full window.
+	ErrWindowFull = errors.New("stream: window full")
+	// ErrBadSample is returned for samples with non-finite position or phase.
+	ErrBadSample = errors.New("stream: sample has non-finite fields")
+	// ErrNoTag is returned for an empty tag id.
+	ErrNoTag = errors.New("stream: tag id must be non-empty")
+	// ErrBadConfig is returned by New for invalid configurations.
+	ErrBadConfig = errors.New("stream: bad config")
+)
+
+// Sample is one timestamped read: the tag's known position and the wrapped
+// phase the reader reported there. Samples of one tag must arrive in scan
+// order — the window is an arrival-ordered phase profile, exactly like the
+// offline trace the core solvers consume.
+type Sample struct {
+	Time  time.Duration
+	Pos   geom.Vec3
+	Phase float64
+}
+
+// Solver turns one window of preprocessed observations into an estimate.
+// Solvers must be pure functions of their input: the streamed-equals-offline
+// guarantee relies on it.
+type Solver func(obs []core.PosPhase) (*core.Solution, error)
+
+// DropPolicy selects what happens when a sample arrives at a full window.
+type DropPolicy int
+
+const (
+	// EvictOldest slides the window: the oldest sample is dropped to make
+	// room. This is the default and the natural streaming semantics.
+	EvictOldest DropPolicy = iota
+	// RejectNewest refuses the incoming sample and returns ErrWindowFull,
+	// preserving the existing window.
+	RejectNewest
+)
+
+// Config parameterises an Engine.
+type Config struct {
+	// WindowSize is the ring capacity per tag: the maximum number of samples
+	// one solve sees. Required.
+	WindowSize int
+	// WindowSpan, when positive, additionally evicts samples older than this
+	// relative to the newest sample's timestamp.
+	WindowSpan time.Duration
+	// MinSamples is the minimum window length before solves trigger.
+	// Zero defaults to 4 (the smallest window core.Locate2DLine accepts).
+	MinSamples int
+	// SolveEvery triggers a solve after this many accepted samples since the
+	// last snapshot. Zero defaults to 1 (solve on every sample).
+	SolveEvery int
+	// Smooth is the centred moving-average window passed to core.Preprocess;
+	// zero or one disables smoothing, otherwise it must be odd.
+	Smooth int
+	// Policy selects the overflow behaviour; the zero value is EvictOldest.
+	Policy DropPolicy
+	// Workers sizes the solve pool; zero means runtime.GOMAXPROCS(0).
+	Workers int
+	// JobTimeout, when positive, bounds each window solve.
+	JobTimeout time.Duration
+	// SubBuffer is the per-subscriber channel depth; zero defaults to 64.
+	// Slow subscribers lose estimates (counted), they never block solves.
+	SubBuffer int
+	// Solver produces estimates from window snapshots. Required.
+	Solver Solver
+}
+
+func (c Config) minSamples() int {
+	if c.MinSamples <= 0 {
+		return 4
+	}
+	return c.MinSamples
+}
+
+func (c Config) solveEvery() int {
+	if c.SolveEvery <= 0 {
+		return 1
+	}
+	return c.SolveEvery
+}
+
+func (c Config) subBuffer() int {
+	if c.SubBuffer <= 0 {
+		return 64
+	}
+	return c.SubBuffer
+}
+
+// Estimate is one published localization result.
+type Estimate struct {
+	// Tag identifies the session.
+	Tag string
+	// Seq counts published estimates per tag, starting at 1.
+	Seq uint64
+	// Window is the number of samples the solve consumed.
+	Window int
+	// From and To are the timestamps of the window's first and last sample.
+	From, To time.Duration
+	// Solution is the solver output; nil when Err is non-nil.
+	Solution *core.Solution
+	// Err is the solve error, if any.
+	Err error
+	// Latency is the wall time of the solve itself.
+	Latency time.Duration
+}
+
+// Metrics is a point-in-time snapshot of the engine's counters.
+type Metrics struct {
+	Tags            int
+	Ingested        uint64
+	Rejected        uint64 // non-finite samples refused at the boundary
+	DroppedOverflow uint64 // samples evicted or refused at a full window
+	DroppedAge      uint64 // samples evicted by WindowSpan
+	Coalesced       uint64 // pending snapshots replaced before solving
+	SubDropped      uint64 // estimates lost to slow subscribers
+	Solves          uint64
+	SolveErrors     uint64
+	QueueDepth      int // solve jobs queued behind the workers
+
+	// Solve latency over the recent window (last 1024 solves), seconds.
+	LatencyCount uint64
+	LatencyMean  float64
+	LatencyP50   float64
+	LatencyP90   float64
+	LatencyP99   float64
+}
+
+// Engine ingests per-tag sample streams and publishes estimates.
+type Engine struct {
+	cfg  Config
+	pool *batch.Pool
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sessions map[string]*session
+	subs     map[int]chan Estimate
+	nextSub  int
+	closed   bool
+	latency  *stats.Recorder
+
+	ingested, rejected, droppedOverflow, droppedAge uint64
+	coalesced, subDropped, solves, solveErrors      uint64
+}
+
+// session is the per-tag state: the ring-buffered window plus dispatch
+// book-keeping. All fields are guarded by the engine mutex.
+type session struct {
+	tag   string
+	buf   []Sample
+	start int
+	n     int
+	since int // samples accepted since the last snapshot
+
+	seq      uint64
+	inFlight bool
+	pending  *snapshot
+	latest   *Estimate
+}
+
+// snapshot is one frozen window awaiting a solve.
+type snapshot struct {
+	tag     string
+	samples []Sample
+}
+
+// solved carries a finished solve through the pool's Outcome.Value.
+type solved struct {
+	sol     *core.Solution
+	err     error
+	latency time.Duration
+}
+
+// New validates the configuration and starts the solve pool.
+func New(cfg Config) (*Engine, error) {
+	if cfg.WindowSize <= 0 {
+		return nil, fmt.Errorf("%w: window size %d must be positive", ErrBadConfig, cfg.WindowSize)
+	}
+	if cfg.Solver == nil {
+		return nil, fmt.Errorf("%w: a solver is required", ErrBadConfig)
+	}
+	if cfg.Smooth > 1 && cfg.Smooth%2 == 0 {
+		return nil, fmt.Errorf("%w: smoothing window %d must be odd", ErrBadConfig, cfg.Smooth)
+	}
+	if cfg.WindowSpan < 0 {
+		return nil, fmt.Errorf("%w: window span %v must not be negative", ErrBadConfig, cfg.WindowSpan)
+	}
+	e := &Engine{
+		cfg:      cfg,
+		pool:     batch.NewPool(batch.Options{Workers: cfg.Workers, JobTimeout: cfg.JobTimeout}),
+		sessions: make(map[string]*session),
+		subs:     make(map[int]chan Estimate),
+		latency:  stats.NewRecorder(1024),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e, nil
+}
+
+// SolveWindow runs the exact offline pipeline over one window: unwrap and
+// smooth the phases with core.Preprocess, then apply the solver. The engine
+// itself solves through this function, which is what makes a streamed
+// window's estimate bit-identical to an offline solve of the same samples.
+func SolveWindow(samples []Sample, smooth int, solver Solver) (*core.Solution, error) {
+	positions := make([]geom.Vec3, len(samples))
+	phases := make([]float64, len(samples))
+	for i, s := range samples {
+		positions[i] = s.Pos
+		phases[i] = s.Phase
+	}
+	obs, err := core.Preprocess(positions, phases, smooth)
+	if err != nil {
+		return nil, err
+	}
+	return solver(obs)
+}
+
+// Ingest accepts one sample for the tag. Under RejectNewest it returns
+// ErrWindowFull when the window is full; under EvictOldest it never rejects a
+// valid sample. Safe for concurrent use.
+func (e *Engine) Ingest(tag string, s Sample) error {
+	if tag == "" {
+		return ErrNoTag
+	}
+	if !s.Pos.IsFinite() || !finite(s.Phase) {
+		e.mu.Lock()
+		e.rejected++
+		e.mu.Unlock()
+		return fmt.Errorf("%w: tag %q at t=%v", ErrBadSample, tag, s.Time)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	sess := e.sessions[tag]
+	if sess == nil {
+		sess = &session{tag: tag, buf: make([]Sample, e.cfg.WindowSize)}
+		e.sessions[tag] = sess
+	}
+	if span := e.cfg.WindowSpan; span > 0 {
+		for sess.n > 0 && s.Time-sess.at(0).Time > span {
+			sess.evictOldest()
+			e.droppedAge++
+		}
+	}
+	if sess.n == len(sess.buf) {
+		if e.cfg.Policy == RejectNewest {
+			e.droppedOverflow++
+			return fmt.Errorf("%w: tag %q holds %d samples", ErrWindowFull, tag, sess.n)
+		}
+		sess.evictOldest()
+		e.droppedOverflow++
+	}
+	sess.push(s)
+	sess.since++
+	e.ingested++
+	if sess.n >= e.cfg.minSamples() && sess.since >= e.cfg.solveEvery() {
+		e.dispatchLocked(sess)
+	}
+	return nil
+}
+
+// IngestBatch accepts samples in order and returns how many were accepted;
+// it stops at the first error.
+func (e *Engine) IngestBatch(tag string, samples []Sample) (int, error) {
+	for i, s := range samples {
+		if err := e.Ingest(tag, s); err != nil {
+			return i, err
+		}
+	}
+	return len(samples), nil
+}
+
+// Latest returns the most recent estimate for the tag, if any.
+func (e *Engine) Latest(tag string) (Estimate, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if sess := e.sessions[tag]; sess != nil && sess.latest != nil {
+		return *sess.latest, true
+	}
+	return Estimate{}, false
+}
+
+// Tags returns the known tag ids, sorted.
+func (e *Engine) Tags() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.sessions))
+	for tag := range e.sessions {
+		out = append(out, tag)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WindowLen returns the current window length for the tag.
+func (e *Engine) WindowLen(tag string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if sess := e.sessions[tag]; sess != nil {
+		return sess.n
+	}
+	return 0
+}
+
+// Subscribe registers an estimate listener. The returned cancel function
+// unregisters it and closes the channel; Close does the same for all
+// remaining subscribers. Estimates that find a subscriber's buffer full are
+// dropped for that subscriber (and counted), never blocking the solve path.
+func (e *Engine) Subscribe() (<-chan Estimate, func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := e.nextSub
+	e.nextSub++
+	ch := make(chan Estimate, e.cfg.subBuffer())
+	e.subs[id] = ch
+	cancel := func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if c, ok := e.subs[id]; ok {
+			delete(e.subs, id)
+			close(c)
+		}
+	}
+	return ch, cancel
+}
+
+// Metrics returns a snapshot of the engine's counters.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := Metrics{
+		Tags:            len(e.sessions),
+		Ingested:        e.ingested,
+		Rejected:        e.rejected,
+		DroppedOverflow: e.droppedOverflow,
+		DroppedAge:      e.droppedAge,
+		Coalesced:       e.coalesced,
+		SubDropped:      e.subDropped,
+		Solves:          e.solves,
+		SolveErrors:     e.solveErrors,
+		QueueDepth:      e.pool.Len(),
+		LatencyCount:    e.latency.Count(),
+	}
+	if lats := e.latency.Snapshot(); len(lats) > 0 {
+		m.LatencyMean = stats.Mean(lats)
+		m.LatencyP50, _ = stats.Percentile(lats, 50)
+		m.LatencyP90, _ = stats.Percentile(lats, 90)
+		m.LatencyP99, _ = stats.Percentile(lats, 99)
+	}
+	return m
+}
+
+// Flush snapshots every window holding unsolved samples (of at least
+// MinSamples), then waits until all queued and in-flight solves complete or
+// ctx expires.
+func (e *Engine) Flush(ctx context.Context) error {
+	e.mu.Lock()
+	e.flushLocked()
+	e.mu.Unlock()
+	return e.wait(ctx)
+}
+
+// Close drains and shuts down: ingestion stops, every dirty window is given
+// a final solve, in-flight solves complete, and subscriber channels close.
+// Even when ctx expires before the drain finishes, the pool still runs its
+// queue to completion before Close returns; the ctx error is reported.
+func (e *Engine) Close(ctx context.Context) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.closed = true
+	e.flushLocked()
+	e.mu.Unlock()
+	err := e.wait(ctx)
+	e.pool.Close()
+	e.mu.Lock()
+	for id, ch := range e.subs {
+		delete(e.subs, id)
+		close(ch)
+	}
+	e.mu.Unlock()
+	return err
+}
+
+// flushLocked dispatches a snapshot for every session with unsolved samples.
+func (e *Engine) flushLocked() {
+	for _, sess := range e.sessions {
+		if sess.since > 0 && sess.n >= e.cfg.minSamples() {
+			e.dispatchLocked(sess)
+		}
+	}
+}
+
+// dispatchLocked freezes the session's window and routes it to the pool,
+// coalescing when a solve for this tag is already in flight.
+func (e *Engine) dispatchLocked(sess *session) {
+	snap := &snapshot{tag: sess.tag, samples: sess.window()}
+	sess.since = 0
+	if sess.inFlight {
+		if sess.pending != nil {
+			e.coalesced++
+		}
+		sess.pending = snap
+		return
+	}
+	sess.inFlight = true
+	e.submitLocked(sess, snap)
+}
+
+// submitLocked hands one snapshot to the pool. The session must already be
+// marked in flight.
+func (e *Engine) submitLocked(sess *session, snap *snapshot) {
+	err := e.pool.Submit(func(ctx context.Context) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		begin := time.Now()
+		sol, serr := SolveWindow(snap.samples, e.cfg.Smooth, e.cfg.Solver)
+		return solved{sol: sol, err: serr, latency: time.Since(begin)}, nil
+	}, func(o batch.Outcome) {
+		e.complete(sess, snap, o)
+	})
+	if err != nil {
+		// Pool closed: only reachable through Close, which drains first, so
+		// losing this snapshot cannot violate the drain guarantee.
+		sess.inFlight = false
+		sess.pending = nil
+		e.cond.Broadcast()
+	}
+}
+
+// complete publishes one finished solve and chains any pending snapshot.
+func (e *Engine) complete(sess *session, snap *snapshot, o batch.Outcome) {
+	var sv solved
+	if o.Err != nil {
+		sv.err = o.Err
+	} else if v, ok := o.Value.(solved); ok {
+		sv = v
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sess.seq++
+	est := Estimate{
+		Tag:      snap.tag,
+		Seq:      sess.seq,
+		Window:   len(snap.samples),
+		Solution: sv.sol,
+		Err:      sv.err,
+		Latency:  sv.latency,
+	}
+	if len(snap.samples) > 0 {
+		est.From = snap.samples[0].Time
+		est.To = snap.samples[len(snap.samples)-1].Time
+	}
+	sess.latest = &est
+	e.solves++
+	if sv.err != nil {
+		e.solveErrors++
+	}
+	if sv.latency > 0 {
+		e.latency.Add(sv.latency.Seconds())
+	}
+	for _, ch := range e.subs {
+		select {
+		case ch <- est:
+		default:
+			e.subDropped++
+		}
+	}
+	if next := sess.pending; next != nil {
+		sess.pending = nil
+		e.submitLocked(sess, next)
+	} else {
+		sess.inFlight = false
+	}
+	e.cond.Broadcast()
+}
+
+// wait blocks until no session has an in-flight or pending solve, or ctx
+// expires.
+func (e *Engine) wait(ctx context.Context) error {
+	var watcher chan struct{}
+	if ctx != nil && ctx.Done() != nil {
+		watcher = make(chan struct{})
+		defer close(watcher)
+		go func() {
+			select {
+			case <-ctx.Done():
+				e.mu.Lock()
+				e.cond.Broadcast()
+				e.mu.Unlock()
+			case <-watcher:
+			}
+		}()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for !e.quiescentLocked() {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		e.cond.Wait()
+	}
+	return nil
+}
+
+func (e *Engine) quiescentLocked() bool {
+	for _, sess := range e.sessions {
+		if sess.inFlight || sess.pending != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// at returns the i-th oldest sample of the window.
+func (s *session) at(i int) Sample { return s.buf[(s.start+i)%len(s.buf)] }
+
+func (s *session) push(v Sample) {
+	s.buf[(s.start+s.n)%len(s.buf)] = v
+	s.n++
+}
+
+func (s *session) evictOldest() {
+	s.start = (s.start + 1) % len(s.buf)
+	s.n--
+}
+
+// window copies the current window in arrival order.
+func (s *session) window() []Sample {
+	out := make([]Sample, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.at(i)
+	}
+	return out
+}
+
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}

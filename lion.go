@@ -67,6 +67,8 @@ var (
 	ErrDegenerateGeometry = core.ErrDegenerateGeometry
 	ErrNoSolution         = core.ErrNoSolution
 	ErrNoCandidates       = core.ErrNoCandidates
+	ErrBadLambda          = core.ErrBadLambda
+	ErrNonFiniteInput     = core.ErrNonFiniteInput
 )
 
 // DefaultSolveOptions returns the paper's default: weighted least squares.
