@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz serve-smoke
+.PHONY: check fmt vet build test race bench fuzz serve-smoke metriclint
 
-## check: the CI gate — formatting, vet, build, and the full suite under the
-## race detector (includes the 1k-job batch stress test, the stream
-## concurrent-publisher stress test, and the serial/parallel equivalence
-## tests).
-check: fmt vet build race
+## check: the CI gate — formatting, vet, build, metric-name linting, and the
+## full suite under the race detector (includes the 1k-job batch stress test,
+## the stream concurrent-publisher stress test, and the serial/parallel
+## equivalence tests).
+check: fmt vet build metriclint race
+
+## metriclint: every registered metric name matches lion_[a-z_]+ and is
+## documented in DESIGN.md section 9.
+metriclint:
+	$(GO) run ./tools/metriclint
 
 ## fmt: fail if any file needs gofmt.
 fmt:

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/rfid-lion/lion/internal/experiment"
+	"github.com/rfid-lion/lion/internal/obs"
 )
 
 // runner names one experiment and its driver.
@@ -101,11 +102,32 @@ func run(args []string, stdout io.Writer) error {
 		only    = fs.String("only", "", "comma-separated experiment names (e.g. fig13,fig21)")
 		out     = fs.String("o", "", "also write the report to this file")
 		workers = fs.Int("workers", 0, "solver worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical, only wall-clock changes")
+		trace   = fs.String("trace", "", "run one instrumented calibration solve and write its NDJSON trace to this file")
+		profile = fs.String("profile", "", "write CPU and heap profiles to <prefix>.cpu.pprof / <prefix>.heap.pprof")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := experiment.Config{Seed: *seed, Trials: *trials, Fast: *fast, Workers: *workers}
+
+	if *profile != "" {
+		stop, err := obs.StartProfiles(*profile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "lionbench: profile:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "lionbench: profiles written to %s.cpu.pprof and %s.heap.pprof\n", *profile, *profile)
+			}
+		}()
+	}
+	if *trace != "" {
+		if err := writeTrace(*trace, *seed, stdout); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
 
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*only, ",") {
@@ -145,5 +167,25 @@ func run(args []string, stdout io.Writer) error {
 	if file != nil {
 		fmt.Fprintf(stdout, "report written to %s\n", file.Name())
 	}
+	return nil
+}
+
+// writeTrace runs the instrumented calibration solve and dumps its trace.
+func writeTrace(path string, seed int64, stdout io.Writer) error {
+	tr := obs.NewTracer()
+	res, err := experiment.TraceCalibration(seed, tr)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.WriteNDJSON(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "trace: %d events from %d candidates written to %s (estimate %v)\n",
+		tr.Len(), len(res.All), path, res.Position)
 	return nil
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunTraceWritesNDJSON is the acceptance check for `lionbench -trace`:
+// the dump must be valid NDJSON carrying per-IRWLS-iteration residuals for
+// the adaptive calibration sweep.
+func TestRunTraceWritesNDJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	var out strings.Builder
+	// "-only none" selects no experiment tables, leaving just the trace run.
+	if err := run([]string{"-trace", path, "-only", "none"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace:") {
+		t.Errorf("no trace summary printed: %s", out.String())
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var iters, cands, spans int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev struct {
+			TMicros  int64   `json:"t_us"`
+			Event    string  `json:"event"`
+			Span     string  `json:"span"`
+			Iter     int     `json:"iter"`
+			Residual float64 `json:"residual_norm"`
+			Interval float64 `json:"interval_m"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch ev.Event {
+		case "irls_iter":
+			iters++
+			if ev.Iter < 1 {
+				t.Errorf("irls_iter with iter %d", ev.Iter)
+			}
+		case "candidate":
+			cands++
+			if ev.Interval <= 0 {
+				t.Error("candidate event without interval")
+			}
+		case "span_start":
+			if ev.Span == "adaptive_three_line" {
+				spans++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if iters == 0 {
+		t.Error("trace has no per-iteration solver events")
+	}
+	if cands != 9 {
+		t.Errorf("trace has %d candidate events, want 9 (3 ranges x 3 intervals)", cands)
+	}
+	if spans != 1 {
+		t.Errorf("trace has %d adaptive_three_line spans, want 1", spans)
+	}
+}
+
+// TestRunProfileWritesPprof checks the -profile flag produces both profile
+// files in pprof's gzip container format.
+func TestRunProfileWritesPprof(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "bench")
+	var out strings.Builder
+	if err := run([]string{"-profile", prefix, "-fast", "-only", "fig21"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".cpu.pprof", ".heap.pprof"} {
+		data, err := os.ReadFile(prefix + suffix)
+		if err != nil {
+			t.Fatalf("%s: %v", suffix, err)
+		}
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Errorf("%s is not a gzip-compressed profile", suffix)
+		}
+	}
+}

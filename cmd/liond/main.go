@@ -16,7 +16,9 @@
 //	GET  /v1/tags                  known tag ids
 //	GET  /v1/tags/{id}/estimate    latest estimate for one tag
 //	GET  /healthz                  liveness
-//	GET  /metrics                  Prometheus-style counters and latencies
+//	GET  /metrics                  Prometheus exposition (obs registry)
+//	GET  /debug/trace/{id}         last solve trace for one tag, NDJSON (-trace)
+//	GET  /debug/pprof/...          net/http/pprof profiles
 //
 // On SIGINT/SIGTERM the daemon stops accepting requests, gives every dirty
 // window a final solve, waits for in-flight solves to drain, and exits.
@@ -28,11 +30,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
-	"log"
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -42,9 +43,13 @@ import (
 
 	"github.com/rfid-lion/lion/internal/core"
 	"github.com/rfid-lion/lion/internal/dataset"
+	"github.com/rfid-lion/lion/internal/obs"
 	"github.com/rfid-lion/lion/internal/rf"
 	"github.com/rfid-lion/lion/internal/stream"
 )
+
+// logx is the daemon's structured logger; one JSON object per line on stderr.
+var logx = obs.NewLogger(os.Stderr)
 
 // maxIngestBody bounds one POST /v1/samples body (64 MiB).
 const maxIngestBody = 64 << 20
@@ -85,6 +90,8 @@ func parseFlags(args []string) (*config, error) {
 		workers = fs.Int("workers", 0, "solve pool size (0 = GOMAXPROCS)")
 		timeout = fs.Duration("solve-timeout", 0, "per-window solve timeout (0 = none)")
 		drain   = fs.Duration("drain", 10*time.Second, "shutdown drain timeout")
+		trace   = fs.Bool("trace", false,
+			"record each window's solve trace, served at /debug/trace/{tag}")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -117,15 +124,16 @@ func parseFlags(args []string) (*config, error) {
 		addr:  *addr,
 		drain: *drain,
 		cfg: stream.Config{
-			WindowSize: *window,
-			WindowSpan: *span,
-			MinSamples: *minS,
-			SolveEvery: *every,
-			Smooth:     *smooth,
-			Policy:     policy,
-			Workers:    *workers,
-			JobTimeout: *timeout,
-			Solver:     sv,
+			WindowSize:  *window,
+			WindowSpan:  *span,
+			MinSamples:  *minS,
+			SolveEvery:  *every,
+			Smooth:      *smooth,
+			Policy:      policy,
+			Workers:     *workers,
+			JobTimeout:  *timeout,
+			Solver:      sv,
+			TraceSolves: *trace,
 		},
 	}, nil
 }
@@ -162,8 +170,12 @@ func run(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("liond: listening on %s (window=%d every=%d workers=%d)",
-		ln.Addr(), cfg.cfg.WindowSize, cfg.cfg.SolveEvery, cfg.cfg.Workers)
+	logx.Info("listening",
+		"addr", ln.Addr().String(),
+		"window", cfg.cfg.WindowSize,
+		"every", cfg.cfg.SolveEvery,
+		"workers", cfg.cfg.Workers,
+		"trace", cfg.cfg.TraceSolves)
 	return serve(ctx, ln, eng, cfg.drain)
 }
 
@@ -186,14 +198,17 @@ func serve(ctx context.Context, ln net.Listener, eng *stream.Engine, drain time.
 	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("liond: http shutdown: %v", err)
+		logx.Warn("http shutdown", "err", err)
 	}
 	if err := eng.Close(shutCtx); err != nil && !errors.Is(err, stream.ErrClosed) {
 		return fmt.Errorf("drain: %w", err)
 	}
 	m := eng.Metrics()
-	log.Printf("liond: drained — %d samples ingested, %d solves (%d errors), %d dropped",
-		m.Ingested, m.Solves, m.SolveErrors, m.DroppedOverflow+m.DroppedAge)
+	logx.Info("drained",
+		"ingested", m.Ingested,
+		"solves", m.Solves,
+		"solve_errors", m.SolveErrors,
+		"dropped", m.DroppedOverflow+m.DroppedAge)
 	return nil
 }
 
@@ -203,7 +218,11 @@ type server struct {
 }
 
 func newServer(eng *stream.Engine) *server {
-	return &server{eng: eng, start: time.Now()}
+	s := &server{eng: eng, start: time.Now()}
+	eng.Registry().GaugeFunc("lion_uptime_seconds", "Seconds since the daemon started.", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+	return s
 }
 
 func (s *server) routes() http.Handler {
@@ -212,7 +231,13 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/tags", s.handleTags)
 	mux.HandleFunc("GET /v1/tags/{id}/estimate", s.handleEstimate)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /metrics", s.eng.Registry().Handler())
+	mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -314,38 +339,16 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	m := s.eng.Metrics()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	writeMetrics(w, m, time.Since(s.start).Seconds())
-}
-
-// writeMetrics renders the Prometheus exposition. Split out for testing.
-func writeMetrics(w io.Writer, m stream.Metrics, uptime float64) {
-	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
-	p("# TYPE liond_uptime_seconds gauge")
-	p("liond_uptime_seconds %g", uptime)
-	p("# TYPE liond_tags gauge")
-	p("liond_tags %d", m.Tags)
-	p("# TYPE liond_ingested_total counter")
-	p("liond_ingested_total %d", m.Ingested)
-	p("# TYPE liond_rejected_total counter")
-	p("liond_rejected_total %d", m.Rejected)
-	p("# TYPE liond_dropped_total counter")
-	p(`liond_dropped_total{reason="overflow"} %d`, m.DroppedOverflow)
-	p(`liond_dropped_total{reason="age"} %d`, m.DroppedAge)
-	p(`liond_dropped_total{reason="subscriber"} %d`, m.SubDropped)
-	p("# TYPE liond_coalesced_total counter")
-	p("liond_coalesced_total %d", m.Coalesced)
-	p("# TYPE liond_solves_total counter")
-	p("liond_solves_total %d", m.Solves)
-	p("# TYPE liond_solve_errors_total counter")
-	p("liond_solve_errors_total %d", m.SolveErrors)
-	p("# TYPE liond_solve_queue_depth gauge")
-	p("liond_solve_queue_depth %d", m.QueueDepth)
-	p("# TYPE liond_solve_latency_seconds summary")
-	p(`liond_solve_latency_seconds{quantile="0.5"} %g`, m.LatencyP50)
-	p(`liond_solve_latency_seconds{quantile="0.9"} %g`, m.LatencyP90)
-	p(`liond_solve_latency_seconds{quantile="0.99"} %g`, m.LatencyP99)
-	p("liond_solve_latency_seconds_count %d", m.LatencyCount)
+// handleTrace serves the tag's last solve trace as NDJSON. Traces exist only
+// when the daemon runs with -trace.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tag := r.PathValue("id")
+	events, ok := s.eng.LastTrace(tag)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no trace for tag %q (is liond running with -trace?)", tag))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	obs.WriteEventsNDJSON(w, events)
 }

@@ -49,7 +49,7 @@ func smokeTrace(t *testing.T) []sim.Sample {
 // start the production serve loop on a random port, push an NDJSON trace
 // over real HTTP, read the estimate back, and shut down cleanly.
 func TestServeSmoke(t *testing.T) {
-	cfg, err := parseFlags([]string{"-intervals", "0.1", "-every", "32", "-workers", "2"})
+	cfg, err := parseFlags([]string{"-intervals", "0.1", "-every", "32", "-workers", "2", "-trace"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,14 +136,59 @@ func TestServeSmoke(t *testing.T) {
 		t.Errorf("tags: %s", body)
 	}
 
-	// Metrics exposition carries the ingest counter.
+	// Metrics exposition comes from the obs registry.
 	metrics := getOK(t, base+"/metrics")
-	want := fmt.Sprintf("liond_ingested_total %d", len(trace))
+	want := fmt.Sprintf("lion_stream_ingested_total %d", len(trace))
 	if !strings.Contains(metrics, want) {
 		t.Errorf("metrics missing %q:\n%s", want, metrics)
 	}
-	if !strings.Contains(metrics, "liond_solve_latency_seconds_count") {
-		t.Error("metrics missing latency summary")
+	for _, name := range []string{
+		"lion_stream_solve_latency_seconds_count",
+		"lion_uptime_seconds",
+		"lion_batch_jobs_total",
+		"# TYPE lion_stream_solve_latency_seconds histogram",
+	} {
+		if !strings.Contains(metrics, name) {
+			t.Errorf("metrics missing %q", name)
+		}
+	}
+
+	// The solve trace endpoint serves NDJSON with per-iteration solver
+	// events (the daemon was started with -trace).
+	traceBody := getOK(t, base+"/debug/trace/T1")
+	var sawIter bool
+	for _, line := range strings.Split(strings.TrimSpace(traceBody), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line %q: %v", line, err)
+		}
+		if ev["event"] == "irls_iter" {
+			sawIter = true
+		}
+	}
+	if !sawIter {
+		t.Errorf("trace has no irls_iter events:\n%s", traceBody)
+	}
+	if code, _ := get(t, base+"/debug/trace/NOPE"); code != http.StatusNotFound {
+		t.Errorf("trace for unknown tag: status %d, want 404", code)
+	}
+
+	// pprof is mounted: a short CPU profile comes back as a valid pprof
+	// protobuf (gzip magic), and the index page lists profiles.
+	if body := getOK(t, base+"/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Error("pprof index missing profile listing")
+	}
+	profResp, err := http.Get(base + "/debug/pprof/profile?seconds=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := io.ReadAll(profResp.Body)
+	profResp.Body.Close()
+	if profResp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof profile status %d: %s", profResp.StatusCode, prof)
+	}
+	if len(prof) < 2 || prof[0] != 0x1f || prof[1] != 0x8b {
+		t.Errorf("pprof profile is not gzip-compressed protobuf (got % x...)", prof[:min(8, len(prof))])
 	}
 
 	// Graceful shutdown: cancel the serve context and wait for the drain.

@@ -16,8 +16,11 @@ import (
 	"time"
 
 	lion "github.com/rfid-lion/lion"
+	"github.com/rfid-lion/lion/internal/core"
 	"github.com/rfid-lion/lion/internal/dataset"
+	"github.com/rfid-lion/lion/internal/experiment"
 	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/obs"
 	"github.com/rfid-lion/lion/internal/sim"
 	"github.com/rfid-lion/lion/internal/traject"
 )
@@ -61,9 +64,25 @@ func run(args []string) error {
 		hop = fs.String("hop", "",
 			"comma-separated hop frequencies in Hz (empty = fixed carrier)")
 		dwell = fs.Duration("dwell", 200*time.Millisecond, "hop dwell time")
+
+		trace = fs.String("trace", "",
+			"also localize the generated scan and write the solve trace (NDJSON) to this file")
+		profile = fs.String("profile", "",
+			"write CPU and heap profiles to <prefix>.cpu.pprof / <prefix>.heap.pprof")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *profile != "" {
+		stop, perr := obs.StartProfiles(*profile)
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "lionsim: profile:", err)
+			}
+		}()
 	}
 
 	env, err := lion.NewEnvironment()
@@ -144,5 +163,61 @@ func run(args []string) error {
 	fmt.Fprintf(os.Stderr,
 		"lionsim: %d reads, scenario %s, true phase center %v, offset %.3f rad\n",
 		len(samples), *scenario, ant.PhaseCenter(), *offset+*tagOffset)
+	if *trace != "" {
+		if err := writeTrace(*trace, *scenario, samples, env.Wavelength()); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// traceSmooth matches the experiments' preprocessing window.
+const traceSmooth = 9
+
+// writeTrace localizes the generated scan with the scenario's natural solver,
+// recording every adaptive candidate and IRWLS iteration, and dumps the trace
+// as NDJSON.
+func writeTrace(path, scenario string, samples []sim.Sample, lambda float64) error {
+	obsv, err := core.Preprocess(sim.Positions(samples), sim.Phases(samples), traceSmooth)
+	if err != nil {
+		return err
+	}
+	tr := obs.NewTracer()
+	solve := core.DefaultSolveOptions()
+	solve.Trace = tr
+	switch scenario {
+	case "linear":
+		_, err = core.AdaptiveLocate2DLine(obsv, lambda, []float64{0.15, 0.2, 0.25}, true, solve)
+	case "threeline":
+		var in core.ThreeLineInput
+		if in, err = experiment.SplitThreeLine(obsv, samples, lambda); err == nil {
+			_, err = core.AdaptiveLocateThreeLine(in,
+				[]float64{0.6, 0.8, 1.0}, []float64{0.15, 0.2, 0.25},
+				core.StructuredOptions{Solve: solve})
+		}
+	case "twoline":
+		var in core.TwoLineInput
+		if in, err = experiment.SplitTwoLine(obsv, samples, lambda); err == nil {
+			_, err = core.AdaptiveLocateTwoLine(in, true,
+				[]float64{0.6, 0.8, 1.0}, []float64{0.15, 0.2, 0.25},
+				core.StructuredOptions{Solve: solve})
+		}
+	case "circle":
+		_, err = core.Locate2D(obsv, lambda, core.StridePairs(len(obsv), len(obsv)/4), solve)
+	default:
+		return fmt.Errorf("no trace solver for scenario %q", scenario)
+	}
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.WriteNDJSON(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "lionsim: %d trace events written to %s\n", tr.Len(), path)
 	return nil
 }

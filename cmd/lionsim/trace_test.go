@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunTracePerScenario runs every scenario with -trace and checks the
+// NDJSON dump contains solver iteration events.
+func TestRunTracePerScenario(t *testing.T) {
+	for _, scenario := range []string{"linear", "threeline", "twoline", "circle"} {
+		t.Run(scenario, func(t *testing.T) {
+			dir := t.TempDir()
+			out := filepath.Join(dir, "scan.csv")
+			trace := filepath.Join(dir, "trace.ndjson")
+			err := run([]string{
+				"-scenario", scenario, "-o", out, "-trace", trace,
+				"-span", "1.2", "-rate", "100",
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			f, err := os.Open(trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			var iters int
+			sc := bufio.NewScanner(f)
+			for sc.Scan() {
+				var ev struct {
+					Event string `json:"event"`
+				}
+				if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+					t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+				}
+				if ev.Event == "irls_iter" {
+					iters++
+				}
+			}
+			if iters == 0 {
+				t.Error("trace has no irls_iter events")
+			}
+		})
+	}
+}

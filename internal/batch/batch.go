@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/rfid-lion/lion/internal/obs"
 )
 
 // ErrPanic wraps a panic recovered from a job. Use errors.Is to detect it;
@@ -21,6 +23,9 @@ type Options struct {
 	// JobTimeout, when positive, bounds each job's run time: the job's
 	// context is cancelled with context.DeadlineExceeded once it expires.
 	JobTimeout time.Duration
+	// Registry receives lion_batch_* metrics from Pool (Engine.Run is
+	// stateless and stays uninstrumented). Nil means a private registry.
+	Registry *obs.Registry
 }
 
 // Engine is a bounded worker pool with deterministic result ordering.

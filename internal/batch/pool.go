@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"github.com/rfid-lion/lion/internal/obs"
 )
 
 // ErrPoolClosed is returned by Submit after Close has been called.
@@ -19,6 +21,10 @@ var ErrPoolClosed = errors.New("batch: pool closed")
 // window per tag).
 type Pool struct {
 	runner *Engine
+
+	jobsOK    *obs.Counter
+	jobsErr   *obs.Counter
+	jobsPanic *obs.Counter
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -37,7 +43,20 @@ type poolTask struct {
 // NewPool starts the workers immediately. Zero or negative Workers means
 // runtime.GOMAXPROCS(0), as for New.
 func NewPool(opts Options) *Pool {
-	p := &Pool{runner: New(opts)}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	jobs := reg.CounterVec("lion_batch_jobs_total", "Pool jobs completed, by result.", "result")
+	p := &Pool{
+		runner:    New(opts),
+		jobsOK:    jobs.With("ok"),
+		jobsErr:   jobs.With("error"),
+		jobsPanic: jobs.With("panic"),
+	}
+	reg.GaugeFunc("lion_batch_queue_depth", "Pool jobs queued but not yet running.", func() float64 {
+		return float64(p.Len())
+	})
 	p.cond = sync.NewCond(&p.mu)
 	for w := 0; w < p.runner.workers; w++ {
 		p.wg.Add(1)
@@ -96,6 +115,14 @@ func (p *Pool) worker() {
 		p.queue = p.queue[1:]
 		p.mu.Unlock()
 		o := p.runner.runOne(context.Background(), t.index, t.job)
+		switch {
+		case o.Err == nil:
+			p.jobsOK.Inc()
+		case errors.Is(o.Err, ErrPanic):
+			p.jobsPanic.Inc()
+		default:
+			p.jobsErr.Inc()
+		}
 		if t.done != nil {
 			t.done(o)
 		}

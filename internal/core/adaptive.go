@@ -3,10 +3,12 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"github.com/rfid-lion/lion/internal/batch"
 	"github.com/rfid-lion/lion/internal/geom"
+	lionobs "github.com/rfid-lion/lion/internal/obs"
 )
 
 // ErrNoCandidates is returned when no parameter combination produced a
@@ -130,7 +132,9 @@ func gridSpecs(ranges, intervals []float64) []gridSpec {
 // the output bit-identical to a serial loop (ties in SelectByResidual are
 // broken by candidate order, i.e. deterministically by index). workers ≤ 1
 // runs serially on the calling goroutine; workers == 0 uses GOMAXPROCS.
-func sweep(specs []gridSpec, workers int, eval func(gridSpec) (*Solution, error)) []Candidate {
+// A non-nil tracer receives one candidate event per evaluated cell with the
+// weighted mean residual the selection rule ranks by.
+func sweep(specs []gridSpec, workers int, tr *lionobs.Tracer, eval func(gridSpec) (*Solution, error)) []Candidate {
 	cands := make([]Candidate, len(specs))
 	fill := func(i int) {
 		sol, err := eval(specs[i])
@@ -140,6 +144,11 @@ func sweep(specs []gridSpec, workers int, eval func(gridSpec) (*Solution, error)
 			Solution:  sol,
 			Err:       err,
 		}
+		wres := 0.0
+		if sol != nil {
+			wres = sol.MeanResidual
+		}
+		tr.Candidate("adaptive", specs[i].scanRange, specs[i].interval, wres, err)
 	}
 	if workers == 1 || len(specs) < 2 {
 		for i := range specs {
@@ -174,13 +183,25 @@ func AdaptiveLocateThreeLineWorkers(in ThreeLineInput, ranges, intervals []float
 	if len(ranges) == 0 || len(intervals) == 0 {
 		return nil, ErrNoCandidates
 	}
-	cands := sweep(gridSpecs(ranges, intervals), workers, func(s gridSpec) (*Solution, error) {
+	tr := base.Solve.Trace
+	defer tr.Span("adaptive_three_line")()
+	cands := sweep(gridSpecs(ranges, intervals), workers, tr, func(s gridSpec) (*Solution, error) {
 		opts := base
 		opts.ScanRange = s.scanRange
 		opts.Interval = s.interval
+		opts.Solve.TraceSpan = candidateSpan(tr, s)
 		return LocateThreeLine(in, opts)
 	})
 	return SelectByResidual(cands)
+}
+
+// candidateSpan labels one candidate's solve span; building the label is
+// skipped entirely when tracing is off.
+func candidateSpan(tr *lionobs.Tracer, s gridSpec) string {
+	if !tr.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("cand[range=%g,interval=%g]", s.scanRange, s.interval)
 }
 
 // AdaptiveLocateTwoLine is the two-line analogue of AdaptiveLocateThreeLine.
@@ -194,10 +215,13 @@ func AdaptiveLocateTwoLineWorkers(in TwoLineInput, abovePlane bool, ranges, inte
 	if len(ranges) == 0 || len(intervals) == 0 {
 		return nil, ErrNoCandidates
 	}
-	cands := sweep(gridSpecs(ranges, intervals), workers, func(s gridSpec) (*Solution, error) {
+	tr := base.Solve.Trace
+	defer tr.Span("adaptive_two_line")()
+	cands := sweep(gridSpecs(ranges, intervals), workers, tr, func(s gridSpec) (*Solution, error) {
 		opts := base
 		opts.ScanRange = s.scanRange
 		opts.Interval = s.interval
+		opts.Solve.TraceSpan = candidateSpan(tr, s)
 		return LocateTwoLine(in, abovePlane, opts)
 	})
 	return SelectByResidual(cands)
@@ -215,12 +239,16 @@ func AdaptiveLocate2DLineWorkers(obs []PosPhase, lambda float64, intervals []flo
 	if len(intervals) == 0 {
 		return nil, ErrNoCandidates
 	}
+	tr := opts.Trace
+	defer tr.Span("adaptive_line_2d")()
 	specs := make([]gridSpec, len(intervals))
 	for i, iv := range intervals {
 		specs[i] = gridSpec{interval: iv}
 	}
-	cands := sweep(specs, workers, func(s gridSpec) (*Solution, error) {
-		return Locate2DLine(obs, lambda, s.interval, positiveSide, opts)
+	cands := sweep(specs, workers, tr, func(s gridSpec) (*Solution, error) {
+		o := opts
+		o.TraceSpan = candidateSpan(tr, s)
+		return Locate2DLine(obs, lambda, s.interval, positiveSide, o)
 	})
 	return SelectByResidual(cands)
 }

@@ -338,6 +338,15 @@ func TestLocate2DLineWorldFrame(t *testing.T) {
 	if got := sol.Position.Dist(ant); got > 1e-6 {
 		t.Errorf("error %v m (got %v, want %v)", got, sol.Position, ant)
 	}
+	// The diagnostics added with the observability layer are populated even
+	// without a tracer attached. This solve is unweighted, so Iterations
+	// stays 0; the residual and condition fields must still be filled in.
+	if sol.FinalResidual < 0 || math.IsNaN(sol.FinalResidual) {
+		t.Errorf("FinalResidual = %v, want finite >= 0", sol.FinalResidual)
+	}
+	if sol.ConditionEstimate < 1 || math.IsNaN(sol.ConditionEstimate) {
+		t.Errorf("ConditionEstimate = %v, want >= 1", sol.ConditionEstimate)
+	}
 	// Wrong side lands on the mirror image.
 	sol2, err := Locate2DLine(obs, testLambda, 0.2, false, SolveOptions{})
 	if err != nil {
@@ -471,6 +480,12 @@ func TestSolveSystemReportsResidualDiagnostics(t *testing.T) {
 	}
 	if sol.Iterations == 0 {
 		t.Error("IRWLS did not iterate")
+	}
+	if sol.FinalResidual <= 0 || math.IsInf(sol.FinalResidual, 0) || math.IsNaN(sol.FinalResidual) {
+		t.Errorf("FinalResidual = %v, want finite positive under noise", sol.FinalResidual)
+	}
+	if sol.ConditionEstimate < 1 || math.IsNaN(sol.ConditionEstimate) {
+		t.Errorf("ConditionEstimate = %v, want >= 1", sol.ConditionEstimate)
 	}
 	for _, w := range sol.Weights {
 		if w < 0 || w > 1 {

@@ -7,8 +7,15 @@ import (
 
 	"github.com/rfid-lion/lion/internal/geom"
 	"github.com/rfid-lion/lion/internal/mat"
+	"github.com/rfid-lion/lion/internal/obs"
 	"github.com/rfid-lion/lion/internal/stats"
 )
+
+// WeightFloor is the IRWLS weight below which an equation is effectively
+// discarded: exp(−d²/2) < 1e-6 corresponds to a residual more than ~5.3σ
+// from the mean. The per-iteration trace events report how many rows fell
+// below it.
+const WeightFloor = 1e-6
 
 // SolveOptions controls the least-squares estimation.
 type SolveOptions struct {
@@ -22,6 +29,21 @@ type SolveOptions struct {
 	// Tolerance stops the refinement when the solution moves less than
 	// this distance (metres) between iterations. Zero means 1e-6.
 	Tolerance float64
+	// Trace, when non-nil, records the solve: a span around the estimation
+	// plus one event per IRWLS iteration carrying the residual norm, the
+	// number of weight-floor hits, and the system's condition estimate. The
+	// nil default costs nothing on the hot path.
+	Trace *obs.Tracer
+	// TraceSpan names this solve's span in the trace; empty means "solve".
+	// Adaptive sweeps label each candidate's solve distinctly.
+	TraceSpan string
+}
+
+func (o SolveOptions) traceSpan() string {
+	if o.TraceSpan == "" {
+		return "solve"
+	}
+	return o.TraceSpan
 }
 
 // DefaultSolveOptions returns the paper's default configuration: weighted
@@ -72,6 +94,13 @@ type Solution struct {
 	RMSResidual     float64
 	// Iterations is the number of IRWLS iterations performed.
 	Iterations int
+	// FinalResidual is the 2-norm of the residual vector at the final
+	// estimate, ‖A·X − k‖₂.
+	FinalResidual float64
+	// ConditionEstimate is a cheap lower-bound estimate of the unweighted
+	// system's 2-norm condition number (mat.ConditionEst); large values
+	// flag near-degenerate geometry before accuracy visibly collapses.
+	ConditionEstimate float64
 }
 
 // XY returns the in-plane position estimate.
@@ -93,6 +122,7 @@ func (s *Solution) FullyKnown() bool {
 // of Sec. III-C — are dropped from the solve; the corresponding coordinates
 // are reported as unknown and can be recovered with RecoverMissing.
 func SolveSystem(sys *System, opts SolveOptions) (*Solution, error) {
+	defer opts.Trace.Span(opts.traceSpan())()
 	numRefs := sys.NumRefs
 	if numRefs <= 0 {
 		numRefs = 1
@@ -153,6 +183,11 @@ func SolveSystem(sys *System, opts SolveOptions) (*Solution, error) {
 		return nil, fmt.Errorf("least squares: %w", err)
 	}
 
+	// One condition estimate per solve, on the unweighted reduced system —
+	// cheap next to the IRWLS loop and enough to flag near-degenerate
+	// geometry in both the Solution and every iteration's trace event.
+	condEst := mat.ConditionEst(a)
+
 	weights := make([]float64, rows)
 	for i := range weights {
 		weights[i] = 1
@@ -169,9 +204,13 @@ func SolveSystem(sys *System, opts SolveOptions) (*Solution, error) {
 			if sigma == 0 {
 				break // exact fit: all weights stay 1
 			}
+			floorHits := 0
 			for i, r := range res {
 				d := (r - mu) / sigma
 				weights[i] = math.Exp(-d * d / 2) // Eq. 15
+				if weights[i] < WeightFloor {
+					floorHits++
+				}
 			}
 			xNew, werr := mat.WeightedLeastSquares(a, sys.K, weights)
 			if werr != nil {
@@ -181,6 +220,7 @@ func SolveSystem(sys *System, opts SolveOptions) (*Solution, error) {
 				return nil, fmt.Errorf("weighted least squares: %w", werr)
 			}
 			iterations++
+			opts.Trace.IRLSIter(opts.traceSpan(), iterations, mat.Norm2(res), floorHits, condEst)
 			moved := 0.0
 			for i := range x {
 				if d := math.Abs(xNew[i] - x[i]); d > moved {
@@ -200,11 +240,13 @@ func SolveSystem(sys *System, opts SolveOptions) (*Solution, error) {
 	}
 
 	sol := &Solution{
-		Known:      known,
-		Dim:        sys.Dim,
-		Residuals:  res,
-		Weights:    weights,
-		Iterations: iterations,
+		Known:             known,
+		Dim:               sys.Dim,
+		Residuals:         res,
+		Weights:           weights,
+		Iterations:        iterations,
+		FinalResidual:     mat.Norm2(res),
+		ConditionEstimate: condEst,
 	}
 	// Scatter the reduced solution back onto (x, y, z, d_r...).
 	coords := [3]float64{math.NaN(), math.NaN(), math.NaN()}

@@ -1,0 +1,30 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConditionEstDiagonal(t *testing.T) {
+	// For a diagonal matrix the Cholesky-diagonal estimate is exact.
+	a, _ := FromRows([][]float64{{10, 0}, {0, 1}, {0, 0}})
+	if got := ConditionEst(a); math.Abs(got-10) > 1e-12 {
+		t.Errorf("cond est = %g, want 10", got)
+	}
+}
+
+func TestConditionEstWellConditioned(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	got := ConditionEst(a)
+	if got < 1 || got > 3 {
+		t.Errorf("cond est = %g, want small (>=1)", got)
+	}
+}
+
+func TestConditionEstSingular(t *testing.T) {
+	// Duplicate columns: rank deficient, the Gram matrix is not SPD.
+	a, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if got := ConditionEst(a); !math.IsInf(got, 1) {
+		t.Errorf("cond est of singular system = %g, want +Inf", got)
+	}
+}

@@ -1,0 +1,15 @@
+// Package obs is the unified observability layer of the LION pipeline: a
+// dependency-free metrics registry with exact Prometheus exposition, a
+// nil-safe solve tracer that records per-IRLS-iteration and per-candidate
+// events as NDJSON, and a structured JSON logger.
+//
+// The three pieces share one design rule: the hot path pays nothing when
+// observability is off. Tracer methods are nil-safe no-ops (a disabled solve
+// performs zero allocations — enforced by TestTracingZeroOverheadWhenNil),
+// counters are single atomic adds, and exposition work happens only when a
+// scraper asks for it.
+//
+// Every metric registered anywhere in the repo must be named lion_[a-z_]+
+// and documented in DESIGN.md §9; `make check` enforces both through
+// tools/metriclint.
+package obs

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLoggerWritesJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	l.now = func() time.Time { return time.Unix(1700000000, 0) }
+	l.Info("listening", "addr", ":8077", "workers", 4)
+	l.Error("drain", "err", errors.New("boom"), "took", 250*time.Millisecond)
+
+	var rec map[string]any
+	dec := json.NewDecoder(&buf)
+	if err := dec.Decode(&rec); err != nil {
+		t.Fatalf("first line: %v", err)
+	}
+	if rec["level"] != "info" || rec["msg"] != "listening" || rec["addr"] != ":8077" || rec["workers"] != 4.0 {
+		t.Errorf("info record: %v", rec)
+	}
+	if rec["ts"] == "" {
+		t.Error("missing ts")
+	}
+	if err := dec.Decode(&rec); err != nil {
+		t.Fatalf("second line: %v", err)
+	}
+	if rec["level"] != "error" || rec["err"] != "boom" || rec["took"] != "250ms" {
+		t.Errorf("error record: %v", rec)
+	}
+}
+
+func TestLoggerNilAndOddPairs(t *testing.T) {
+	var l *Logger
+	l.Info("dropped", "k", "v") // must not panic
+
+	var buf bytes.Buffer
+	ll := NewLogger(&buf)
+	ll.Warn("odd", "lonely")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["lonely"] != "(MISSING)" {
+		t.Errorf("odd pair: %v", rec)
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins a CPU profile at prefix.cpu.pprof and returns a stop
+// function that ends it and additionally writes a heap profile to
+// prefix.heap.pprof. It backs the -profile flag of the CLI tools; long-lived
+// daemons serve net/http/pprof instead.
+func StartProfiles(prefix string) (stop func() error, err error) {
+	cpuPath := prefix + ".cpu.pprof"
+	cpu, err := os.Create(cpuPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cpu.Close(); err != nil {
+			return err
+		}
+		heap, err := os.Create(prefix + ".heap.pprof")
+		if err != nil {
+			return err
+		}
+		defer heap.Close()
+		runtime.GC() // get up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			return fmt.Errorf("obs: write heap profile: %w", err)
+		}
+		return nil
+	}, nil
+}

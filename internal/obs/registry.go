@@ -1,0 +1,350 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"github.com/rfid-lion/lion/internal/stats"
+)
+
+// metricNameRE is the Prometheus metric-name grammar. The stricter project
+// rule — every name starts with lion_ and uses only lowercase and
+// underscores — is enforced at build time by tools/metriclint.
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// metric is one named exposition unit.
+type metric interface {
+	describe() (name, help, typ string)
+	expose(w io.Writer)
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Registration is idempotent: asking for an existing name
+// returns the existing metric when the kind matches and panics on a kind
+// mismatch (a programming error, like prometheus.MustRegister).
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric)}
+}
+
+// register stores m under its name, or returns the already-registered metric
+// of the same name after checking the kind matches.
+func (r *Registry) register(name string, m metric) metric {
+	if !metricNameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.metrics[name]; ok {
+		_, _, oldTyp := old.describe()
+		_, _, newTyp := m.describe()
+		if oldTyp != newTyp {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", name, newTyp, oldTyp))
+		}
+		return old
+	}
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the monotonically increasing counter with this name,
+// creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, &Counter{name: name, help: help}).(*Counter)
+}
+
+// CounterVec returns a counter family keyed by one label, creating it on
+// first use.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return r.register(name, &CounterVec{name: name, help: help, label: label}).(*CounterVec)
+}
+
+// Gauge returns the settable gauge with this name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, &Gauge{name: name, help: help}).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at exposition
+// time. Re-registering the same name keeps the first function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, &gaugeFunc{name: name, help: help, fn: fn})
+}
+
+// Histogram returns the histogram with this name, creating it on first use
+// with the given bucket upper bounds (nil means DefBuckets). Besides the
+// cumulative Prometheus buckets it keeps a bounded window of recent raw
+// observations for quantile queries.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, newHistogram(name, help, buckets)).(*Histogram)
+}
+
+// Names returns the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WritePrometheus renders every metric in the text exposition format
+// (version 0.0.4), sorted by name for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	ordered := make([]metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ordered = append(ordered, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(ordered, func(i, j int) bool {
+		ni, _, _ := ordered[i].describe()
+		nj, _, _ := ordered[j].describe()
+		return ni < nj
+	})
+	for _, m := range ordered {
+		name, help, typ := m.describe()
+		if help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		m.expose(w)
+	}
+}
+
+// Handler serves the exposition over HTTP.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Counter is a monotonically increasing counter. All methods are safe for
+// concurrent use and lock-free.
+type Counter struct {
+	v    atomic.Uint64
+	name string
+	help string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by delta.
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) describe() (string, string, string) { return c.name, c.help, "counter" }
+
+func (c *Counter) expose(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", c.name, c.Value())
+}
+
+// CounterVec is a family of counters distinguished by the value of a single
+// label (e.g. lion_stream_dropped_total{reason=...}).
+type CounterVec struct {
+	mu       sync.Mutex
+	children map[string]*Counter
+	name     string
+	help     string
+	label    string
+}
+
+// With returns the child counter for the label value, creating it on first
+// use. Hot paths should call With once up front and keep the child.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.children == nil {
+		v.children = make(map[string]*Counter)
+	}
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{name: v.name}
+		v.children[value] = c
+	}
+	return c
+}
+
+func (v *CounterVec) describe() (string, string, string) { return v.name, v.help, "counter" }
+
+func (v *CounterVec) expose(w io.Writer) {
+	v.mu.Lock()
+	values := make([]string, 0, len(v.children))
+	for value := range v.children {
+		values = append(values, value)
+	}
+	sort.Strings(values)
+	children := make([]*Counter, len(values))
+	for i, value := range values {
+		children[i] = v.children[value]
+	}
+	v.mu.Unlock()
+	for i, value := range values {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, value, children[i].Value())
+	}
+}
+
+// Gauge is a value that can go up and down, stored as atomic float bits.
+type Gauge struct {
+	bits atomic.Uint64
+	name string
+	help string
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) describe() (string, string, string) { return g.name, g.help, "gauge" }
+
+func (g *Gauge) expose(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.Value()))
+}
+
+// gaugeFunc samples its value at exposition time.
+type gaugeFunc struct {
+	name string
+	help string
+	fn   func() float64
+}
+
+func (g *gaugeFunc) describe() (string, string, string) { return g.name, g.help, "gauge" }
+
+func (g *gaugeFunc) expose(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.fn()))
+}
+
+// DefBuckets are the default histogram buckets, spanning 10 µs to 10 s —
+// sized for solve latencies (a 256-sample window solves in ~100 µs).
+var DefBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// quantileWindow bounds the recent raw observations kept per histogram for
+// quantile queries.
+const quantileWindow = 1024
+
+// Histogram counts observations into cumulative buckets (exact Prometheus
+// histogram exposition) and additionally retains a bounded window of recent
+// raw values so callers can read interpolated quantiles without a scrape.
+type Histogram struct {
+	mu     sync.Mutex
+	upper  []float64 // ascending bucket upper bounds; +Inf is implicit
+	counts []uint64  // per-bucket (non-cumulative) counts; last is +Inf
+	sum    float64
+	count  uint64
+	window *stats.Recorder
+	name   string
+	help   string
+}
+
+func newHistogram(name, help string, buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	upper := make([]float64, len(buckets))
+	copy(upper, buckets)
+	sort.Float64s(upper)
+	return &Histogram{
+		upper:  upper,
+		counts: make([]uint64, len(upper)+1),
+		window: stats.NewRecorder(quantileWindow),
+		name:   name,
+		help:   help,
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.window.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile returns the interpolated p-th percentile (p in [0, 100]) over the
+// retained window of recent observations. ok is false when nothing has been
+// observed yet.
+func (h *Histogram) Quantile(p float64) (v float64, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.window.Percentile(p)
+}
+
+// WindowMean returns the mean of the retained window, or 0 when empty.
+func (h *Histogram) WindowMean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.window.Mean()
+}
+
+func (h *Histogram) describe() (string, string, string) { return h.name, h.help, "histogram" }
+
+func (h *Histogram) expose(w io.Writer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum uint64
+	for i, ub := range h.upper {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(ub), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, h.count)
+	fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.sum))
+	fmt.Fprintf(w, "%s_count %d\n", h.name, h.count)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentIncrement hammers one counter, one vec child, one
+// gauge, and one histogram from many goroutines; run under -race this is the
+// registry's data-race proof, and the final values prove no increment is
+// lost.
+func TestRegistryConcurrentIncrement(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("lion_test_ops_total", "ops")
+	vec := r.CounterVec("lion_test_dropped_total", "drops", "reason")
+	overflow := vec.With("overflow")
+	g := r.Gauge("lion_test_depth", "depth")
+	h := r.Histogram("lion_test_latency_seconds", "latency", nil)
+
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				overflow.Inc()
+				g.Add(1)
+				h.Observe(0.001)
+				var sb strings.Builder
+				if i%100 == 0 {
+					r.WritePrometheus(&sb) // scrape while writing
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := overflow.Value(); got != workers*per {
+		t.Errorf("vec child = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Errorf("gauge = %g, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+// TestRegistryExpositionGolden pins the exact Prometheus text format: HELP
+// and TYPE headers, sorted metric order, label quoting, cumulative histogram
+// buckets with +Inf, and _sum/_count.
+func TestRegistryExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("lion_test_ingested_total", "samples accepted")
+	c.Add(42)
+	vec := r.CounterVec("lion_test_dropped_total", "samples dropped", "reason")
+	vec.With("overflow").Add(3)
+	vec.With("age").Inc()
+	g := r.Gauge("lion_test_tags", "known tags")
+	g.Set(2)
+	r.GaugeFunc("lion_test_uptime_seconds", "uptime", func() float64 { return 1.5 })
+	h := r.Histogram("lion_test_latency_seconds", "solve latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(7)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	want := `# HELP lion_test_dropped_total samples dropped
+# TYPE lion_test_dropped_total counter
+lion_test_dropped_total{reason="age"} 1
+lion_test_dropped_total{reason="overflow"} 3
+# HELP lion_test_ingested_total samples accepted
+# TYPE lion_test_ingested_total counter
+lion_test_ingested_total 42
+# HELP lion_test_latency_seconds solve latency
+# TYPE lion_test_latency_seconds histogram
+lion_test_latency_seconds_bucket{le="0.01"} 1
+lion_test_latency_seconds_bucket{le="0.1"} 3
+lion_test_latency_seconds_bucket{le="1"} 3
+lion_test_latency_seconds_bucket{le="+Inf"} 4
+lion_test_latency_seconds_sum 7.105
+lion_test_latency_seconds_count 4
+# HELP lion_test_tags known tags
+# TYPE lion_test_tags gauge
+lion_test_tags 2
+# HELP lion_test_uptime_seconds uptime
+# TYPE lion_test_uptime_seconds gauge
+lion_test_uptime_seconds 1.5
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("lion_test_total", "")
+	b := r.Counter("lion_test_total", "")
+	if a != b {
+		t.Error("re-registering the same counter returned a different instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("lion_test_total", "")
+}
+
+func TestRegistryRejectsBadName(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid metric name did not panic")
+		}
+	}()
+	NewRegistry().Counter("lion test with spaces", "")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewRegistry().Histogram("lion_test_latency_seconds", "", nil)
+	if _, ok := h.Quantile(50); ok {
+		t.Error("empty histogram reported a quantile")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	p50, ok := h.Quantile(50)
+	if !ok || p50 < 50 || p50 > 51 {
+		t.Errorf("p50 = %g ok=%v, want ~50.5", p50, ok)
+	}
+	p99, ok := h.Quantile(99)
+	if !ok || p99 < 99 || p99 > 100 {
+		t.Errorf("p99 = %g ok=%v, want ~99", p99, ok)
+	}
+	if m := h.WindowMean(); m != 50.5 {
+		t.Errorf("window mean = %g, want 50.5", m)
+	}
+}

@@ -1,9 +1,16 @@
 package stats
 
+import "sort"
+
 // Recorder keeps the most recent observations of a metric in a fixed-size
-// ring, so long-running services (the liond daemon) can report latency
-// percentiles over a bounded, recent window instead of accumulating samples
-// forever. It is not safe for concurrent use; callers hold their own lock.
+// ring, so long-running services (the liond daemon, the obs histogram) can
+// report latency percentiles over a bounded, recent window instead of
+// accumulating samples forever. It is not safe for concurrent use; callers
+// hold their own lock.
+//
+// The zero value is usable: the ring is allocated at the default capacity on
+// the first Add, and every query is defined (and panic-free) on an empty
+// ring.
 type Recorder struct {
 	buf   []float64
 	n     int
@@ -11,17 +18,23 @@ type Recorder struct {
 	total uint64
 }
 
+// defaultRecorderCap is the ring size used when none is given.
+const defaultRecorderCap = 1024
+
 // NewRecorder returns a recorder keeping the last capacity observations.
 // Non-positive capacity defaults to 1024.
 func NewRecorder(capacity int) *Recorder {
 	if capacity <= 0 {
-		capacity = 1024
+		capacity = defaultRecorderCap
 	}
 	return &Recorder{buf: make([]float64, capacity)}
 }
 
 // Add records one observation, evicting the oldest when the ring is full.
 func (r *Recorder) Add(x float64) {
+	if len(r.buf) == 0 {
+		r.buf = make([]float64, defaultRecorderCap)
+	}
 	r.buf[r.next] = x
 	r.next = (r.next + 1) % len(r.buf)
 	if r.n < len(r.buf) {
@@ -52,4 +65,43 @@ func (r *Recorder) Snapshot() []float64 {
 		out = append(out, r.buf[(start+i)%len(r.buf)])
 	}
 	return out
+}
+
+// Mean returns the mean of the retained window, or 0 when empty.
+func (r *Recorder) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	var s float64
+	for i := 0; i < r.n; i++ {
+		s += r.buf[(start+i)%len(r.buf)]
+	}
+	return s / float64(r.n)
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of the retained
+// window using linear interpolation between closest ranks. Degenerate
+// windows are handled without error or panic: ok is false when the window is
+// empty (or p is out of range), and a single-sample window returns that
+// sample for every p.
+func (r *Recorder) Percentile(p float64) (v float64, ok bool) {
+	if r.n == 0 || p < 0 || p > 100 {
+		return 0, false
+	}
+	sorted := r.Snapshot()
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], true
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1], true
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac, true
 }

@@ -40,6 +40,68 @@ func TestRecorderEvictsOldest(t *testing.T) {
 	}
 }
 
+func TestRecorderPercentileInterpolates(t *testing.T) {
+	r := NewRecorder(8)
+	for _, x := range []float64{4, 1, 3, 2} {
+		r.Add(x)
+	}
+	p50, ok := r.Percentile(50)
+	if !ok || p50 != 2.5 {
+		t.Errorf("p50 = %v ok=%v, want 2.5 (interpolated)", p50, ok)
+	}
+	p25, ok := r.Percentile(25)
+	if !ok || p25 != 1.75 {
+		t.Errorf("p25 = %v ok=%v, want 1.75", p25, ok)
+	}
+	if p0, _ := r.Percentile(0); p0 != 1 {
+		t.Errorf("p0 = %v, want 1", p0)
+	}
+	if p100, _ := r.Percentile(100); p100 != 4 {
+		t.Errorf("p100 = %v, want 4", p100)
+	}
+	if m := r.Mean(); m != 2.5 {
+		t.Errorf("mean = %v, want 2.5", m)
+	}
+}
+
+// TestRecorderDegenerateWindows pins the n<2 behaviour: an empty ring answers
+// every query without panicking, and a single-sample window returns that
+// sample for every percentile.
+func TestRecorderDegenerateWindows(t *testing.T) {
+	r := NewRecorder(4)
+	if _, ok := r.Percentile(50); ok {
+		t.Error("empty ring reported a percentile")
+	}
+	if m := r.Mean(); m != 0 {
+		t.Errorf("empty mean = %v, want 0", m)
+	}
+	r.Add(7)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if v, ok := r.Percentile(p); !ok || v != 7 {
+			t.Errorf("single-sample p%v = %v ok=%v, want 7", p, v, ok)
+		}
+	}
+	if _, ok := r.Percentile(101); ok {
+		t.Error("out-of-range percentile accepted")
+	}
+}
+
+// TestRecorderZeroValue ensures the zero value works: the ring allocates
+// lazily instead of panicking with a modulo-by-zero on the first Add.
+func TestRecorderZeroValue(t *testing.T) {
+	var r Recorder
+	if _, ok := r.Percentile(50); ok {
+		t.Error("zero-value ring reported a percentile")
+	}
+	r.Add(3)
+	if r.Len() != 1 || r.Count() != 1 {
+		t.Errorf("len/count = %d/%d, want 1/1", r.Len(), r.Count())
+	}
+	if v, ok := r.Percentile(90); !ok || v != 3 {
+		t.Errorf("p90 = %v ok=%v, want 3", v, ok)
+	}
+}
+
 func TestRecorderDefaultCapacity(t *testing.T) {
 	r := NewRecorder(0)
 	for i := 0; i < 2000; i++ {

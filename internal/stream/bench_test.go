@@ -43,7 +43,7 @@ func BenchmarkWindowSolve(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for b.Loop() {
-		if _, err := SolveWindow(window, 9, solver); err != nil {
+		if _, err := SolveWindow(window, 9, solver, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

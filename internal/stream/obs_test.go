@@ -1,0 +1,109 @@
+package stream
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	lionobs "github.com/rfid-lion/lion/internal/obs"
+)
+
+// TestEngineExportsRegistryMetrics checks that the engine's counters land in
+// its registry under the lion_stream_* names and agree with the Metrics()
+// snapshot after a replayed trace.
+func TestEngineExportsRegistryMetrics(t *testing.T) {
+	trace, lambda := testTrace(t, 55)
+	cfg := lineConfig(lambda)
+	reg := lionobs.NewRegistry()
+	cfg.Registry = reg
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Registry() != reg {
+		t.Fatal("Registry() did not return the configured registry")
+	}
+	for _, s := range toStream(trace[:128]) {
+		if err := e.Ingest("T1", s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	exp := buf.String()
+	m := e.Metrics()
+	for _, want := range []string{
+		"lion_stream_ingested_total 128",
+		"lion_stream_solve_latency_seconds_count",
+		"lion_batch_jobs_total{result=\"ok\"}",
+		"lion_stream_tags 1",
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("exposition missing %q:\n%s", want, exp)
+		}
+	}
+	if m.Ingested != 128 {
+		t.Errorf("Metrics().Ingested = %d, want 128", m.Ingested)
+	}
+	if m.Solves == 0 || m.LatencyCount == 0 {
+		t.Errorf("solves/latency not recorded: %+v", m)
+	}
+}
+
+// TestEngineLastTrace checks that TraceSolves retains the latest per-tag
+// solve trace with solver iteration events, and that tracing stays off (and
+// LastTrace empty) by default.
+func TestEngineLastTrace(t *testing.T) {
+	trace, lambda := testTrace(t, 56)
+	cfg := lineConfig(lambda)
+	cfg.TraceSolves = true
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range toStream(trace[:160]) {
+		if err := e.Ingest("T1", s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	events, ok := e.LastTrace("T1")
+	if !ok || len(events) == 0 {
+		t.Fatal("no trace retained with TraceSolves on")
+	}
+	var iters int
+	for _, ev := range events {
+		if ev.Kind == lionobs.KindIRLSIter {
+			iters++
+		}
+	}
+	if iters == 0 {
+		t.Errorf("trace has no irls_iter events: %d events total", len(events))
+	}
+	if _, ok := e.LastTrace("T2"); ok {
+		t.Error("unknown tag reported a trace")
+	}
+
+	// Default config: no traces retained.
+	e2, err := New(lineConfig(lambda))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range toStream(trace[:160]) {
+		if err := e2.Ingest("T1", s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e2.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e2.LastTrace("T1"); ok {
+		t.Error("trace retained without TraceSolves")
+	}
+}

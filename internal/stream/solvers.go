@@ -2,6 +2,7 @@ package stream
 
 import (
 	"github.com/rfid-lion/lion/internal/core"
+	"github.com/rfid-lion/lion/internal/obs"
 )
 
 // Line2DSolver returns a Solver running core.Locate2DLineIntervals: the
@@ -10,8 +11,10 @@ import (
 func Line2DSolver(lambda float64, intervals []float64, positiveSide bool, opts core.SolveOptions) Solver {
 	ivs := make([]float64, len(intervals))
 	copy(ivs, intervals)
-	return func(obs []core.PosPhase) (*core.Solution, error) {
-		return core.Locate2DLineIntervals(obs, lambda, ivs, positiveSide, opts)
+	return func(win []core.PosPhase, tr *obs.Tracer) (*core.Solution, error) {
+		o := opts
+		o.Trace = tr
+		return core.Locate2DLineIntervals(win, lambda, ivs, positiveSide, o)
 	}
 }
 
@@ -19,15 +22,19 @@ func Line2DSolver(lambda float64, intervals []float64, positiveSide bool, opts c
 // over the window, for arbitrary known 2-D trajectories. A stride of zero
 // pairs each sample with the one a quarter-window ahead.
 func Free2DSolver(lambda float64, stride int, opts core.SolveOptions) Solver {
-	return func(obs []core.PosPhase) (*core.Solution, error) {
-		return core.Locate2D(obs, lambda, core.StridePairs(len(obs), strideFor(len(obs), stride)), opts)
+	return func(win []core.PosPhase, tr *obs.Tracer) (*core.Solution, error) {
+		o := opts
+		o.Trace = tr
+		return core.Locate2D(win, lambda, core.StridePairs(len(win), strideFor(len(win), stride)), o)
 	}
 }
 
 // Free3DSolver is Free2DSolver for trajectories with full 3-D diversity.
 func Free3DSolver(lambda float64, stride int, opts core.SolveOptions) Solver {
-	return func(obs []core.PosPhase) (*core.Solution, error) {
-		return core.Locate3D(obs, lambda, core.StridePairs(len(obs), strideFor(len(obs), stride)), opts)
+	return func(win []core.PosPhase, tr *obs.Tracer) (*core.Solution, error) {
+		o := opts
+		o.Trace = tr
+		return core.Locate3D(win, lambda, core.StridePairs(len(win), strideFor(len(win), stride)), o)
 	}
 }
 

@@ -12,7 +12,7 @@ import (
 	"github.com/rfid-lion/lion/internal/batch"
 	"github.com/rfid-lion/lion/internal/core"
 	"github.com/rfid-lion/lion/internal/geom"
-	"github.com/rfid-lion/lion/internal/stats"
+	"github.com/rfid-lion/lion/internal/obs"
 )
 
 // Errors returned by the stream engine.
@@ -42,8 +42,10 @@ type Sample struct {
 
 // Solver turns one window of preprocessed observations into an estimate.
 // Solvers must be pure functions of their input: the streamed-equals-offline
-// guarantee relies on it.
-type Solver func(obs []core.PosPhase) (*core.Solution, error)
+// guarantee relies on it. The tracer is nil unless the engine was configured
+// with TraceSolves (or an offline caller passes one); solvers forward it into
+// core.SolveOptions so per-iteration solver events reach the trace.
+type Solver func(win []core.PosPhase, tr *obs.Tracer) (*core.Solution, error)
 
 // DropPolicy selects what happens when a sample arrives at a full window.
 type DropPolicy int
@@ -85,6 +87,13 @@ type Config struct {
 	SubBuffer int
 	// Solver produces estimates from window snapshots. Required.
 	Solver Solver
+	// Registry receives the engine's lion_stream_* metrics. Nil means a
+	// private registry, still reachable through Engine.Registry().
+	Registry *obs.Registry
+	// TraceSolves attaches a fresh obs.Tracer to every window solve and
+	// retains the last completed trace per tag (Engine.LastTrace). Off by
+	// default: the hot path then passes a nil tracer, which costs nothing.
+	TraceSolves bool
 }
 
 func (c Config) minSamples() int {
@@ -158,10 +167,18 @@ type Engine struct {
 	subs     map[int]chan Estimate
 	nextSub  int
 	closed   bool
-	latency  *stats.Recorder
 
-	ingested, rejected, droppedOverflow, droppedAge uint64
-	coalesced, subDropped, solves, solveErrors      uint64
+	reg             *obs.Registry
+	ingested        *obs.Counter
+	rejected        *obs.Counter
+	dropped         *obs.CounterVec // reason: overflow | age | subscriber
+	coalesced       *obs.Counter
+	solves          *obs.Counter
+	solveErrors     *obs.Counter
+	latency         *obs.Histogram
+	droppedOverflow *obs.Counter // cached dropped children, hot path
+	droppedAge      *obs.Counter
+	droppedSub      *obs.Counter
 }
 
 // session is the per-tag state: the ring-buffered window plus dispatch
@@ -173,10 +190,11 @@ type session struct {
 	n     int
 	since int // samples accepted since the last snapshot
 
-	seq      uint64
-	inFlight bool
-	pending  *snapshot
-	latest   *Estimate
+	seq       uint64
+	inFlight  bool
+	pending   *snapshot
+	latest    *Estimate
+	lastTrace []obs.Event
 }
 
 // snapshot is one frozen window awaiting a solve.
@@ -190,6 +208,7 @@ type solved struct {
 	sol     *core.Solution
 	err     error
 	latency time.Duration
+	trace   []obs.Event
 }
 
 // New validates the configuration and starts the solve pool.
@@ -206,33 +225,62 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.WindowSpan < 0 {
 		return nil, fmt.Errorf("%w: window span %v must not be negative", ErrBadConfig, cfg.WindowSpan)
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	e := &Engine{
 		cfg:      cfg,
-		pool:     batch.NewPool(batch.Options{Workers: cfg.Workers, JobTimeout: cfg.JobTimeout}),
+		pool:     batch.NewPool(batch.Options{Workers: cfg.Workers, JobTimeout: cfg.JobTimeout, Registry: reg}),
 		sessions: make(map[string]*session),
 		subs:     make(map[int]chan Estimate),
-		latency:  stats.NewRecorder(1024),
+
+		reg:         reg,
+		ingested:    reg.Counter("lion_stream_ingested_total", "Samples accepted into a window."),
+		rejected:    reg.Counter("lion_stream_rejected_total", "Non-finite samples refused at the boundary."),
+		dropped:     reg.CounterVec("lion_stream_dropped_total", "Samples or estimates lost, by reason.", "reason"),
+		coalesced:   reg.Counter("lion_stream_coalesced_total", "Pending window snapshots replaced before solving."),
+		solves:      reg.Counter("lion_stream_solves_total", "Window solves completed (including failures)."),
+		solveErrors: reg.Counter("lion_stream_solve_errors_total", "Window solves that returned an error."),
+		latency:     reg.Histogram("lion_stream_solve_latency_seconds", "Wall time of one window solve.", obs.DefBuckets),
 	}
+	e.droppedOverflow = e.dropped.With("overflow")
+	e.droppedAge = e.dropped.With("age")
+	e.droppedSub = e.dropped.With("subscriber")
+	reg.GaugeFunc("lion_stream_tags", "Tags with an active window session.", func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return float64(len(e.sessions))
+	})
+	reg.GaugeFunc("lion_stream_solve_queue_depth", "Window solves queued behind the pool workers.", func() float64 {
+		return float64(e.pool.Len())
+	})
 	e.cond = sync.NewCond(&e.mu)
 	return e, nil
 }
+
+// Registry returns the metrics registry backing the engine's counters —
+// Config.Registry when one was supplied, otherwise the engine's private one.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
 
 // SolveWindow runs the exact offline pipeline over one window: unwrap and
 // smooth the phases with core.Preprocess, then apply the solver. The engine
 // itself solves through this function, which is what makes a streamed
 // window's estimate bit-identical to an offline solve of the same samples.
-func SolveWindow(samples []Sample, smooth int, solver Solver) (*core.Solution, error) {
+// A nil tracer is free; a non-nil one records the solver's spans and
+// iteration events.
+func SolveWindow(samples []Sample, smooth int, solver Solver, tr *obs.Tracer) (*core.Solution, error) {
 	positions := make([]geom.Vec3, len(samples))
 	phases := make([]float64, len(samples))
 	for i, s := range samples {
 		positions[i] = s.Pos
 		phases[i] = s.Phase
 	}
-	obs, err := core.Preprocess(positions, phases, smooth)
+	win, err := core.Preprocess(positions, phases, smooth)
 	if err != nil {
 		return nil, err
 	}
-	return solver(obs)
+	return solver(win, tr)
 }
 
 // Ingest accepts one sample for the tag. Under RejectNewest it returns
@@ -243,9 +291,7 @@ func (e *Engine) Ingest(tag string, s Sample) error {
 		return ErrNoTag
 	}
 	if !s.Pos.IsFinite() || !finite(s.Phase) {
-		e.mu.Lock()
-		e.rejected++
-		e.mu.Unlock()
+		e.rejected.Inc()
 		return fmt.Errorf("%w: tag %q at t=%v", ErrBadSample, tag, s.Time)
 	}
 	e.mu.Lock()
@@ -261,20 +307,20 @@ func (e *Engine) Ingest(tag string, s Sample) error {
 	if span := e.cfg.WindowSpan; span > 0 {
 		for sess.n > 0 && s.Time-sess.at(0).Time > span {
 			sess.evictOldest()
-			e.droppedAge++
+			e.droppedAge.Inc()
 		}
 	}
 	if sess.n == len(sess.buf) {
 		if e.cfg.Policy == RejectNewest {
-			e.droppedOverflow++
+			e.droppedOverflow.Inc()
 			return fmt.Errorf("%w: tag %q holds %d samples", ErrWindowFull, tag, sess.n)
 		}
 		sess.evictOldest()
-		e.droppedOverflow++
+		e.droppedOverflow.Inc()
 	}
 	sess.push(s)
 	sess.since++
-	e.ingested++
+	e.ingested.Inc()
 	if sess.n >= e.cfg.minSamples() && sess.since >= e.cfg.solveEvery() {
 		e.dispatchLocked(sess)
 	}
@@ -346,30 +392,46 @@ func (e *Engine) Subscribe() (<-chan Estimate, func()) {
 	return ch, cancel
 }
 
-// Metrics returns a snapshot of the engine's counters.
+// Metrics returns a snapshot of the engine's counters. The same numbers are
+// exported in Prometheus form through Registry(); this struct remains for
+// in-process callers (drain logs, tests).
 func (e *Engine) Metrics() Metrics {
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	tags := len(e.sessions)
+	e.mu.Unlock()
 	m := Metrics{
-		Tags:            len(e.sessions),
-		Ingested:        e.ingested,
-		Rejected:        e.rejected,
-		DroppedOverflow: e.droppedOverflow,
-		DroppedAge:      e.droppedAge,
-		Coalesced:       e.coalesced,
-		SubDropped:      e.subDropped,
-		Solves:          e.solves,
-		SolveErrors:     e.solveErrors,
+		Tags:            tags,
+		Ingested:        e.ingested.Value(),
+		Rejected:        e.rejected.Value(),
+		DroppedOverflow: e.droppedOverflow.Value(),
+		DroppedAge:      e.droppedAge.Value(),
+		Coalesced:       e.coalesced.Value(),
+		SubDropped:      e.droppedSub.Value(),
+		Solves:          e.solves.Value(),
+		SolveErrors:     e.solveErrors.Value(),
 		QueueDepth:      e.pool.Len(),
 		LatencyCount:    e.latency.Count(),
 	}
-	if lats := e.latency.Snapshot(); len(lats) > 0 {
-		m.LatencyMean = stats.Mean(lats)
-		m.LatencyP50, _ = stats.Percentile(lats, 50)
-		m.LatencyP90, _ = stats.Percentile(lats, 90)
-		m.LatencyP99, _ = stats.Percentile(lats, 99)
+	if m.LatencyCount > 0 {
+		m.LatencyMean = e.latency.WindowMean()
+		m.LatencyP50, _ = e.latency.Quantile(50)
+		m.LatencyP90, _ = e.latency.Quantile(90)
+		m.LatencyP99, _ = e.latency.Quantile(99)
 	}
 	return m
+}
+
+// LastTrace returns the solve trace of the tag's most recently completed
+// solve. Traces are only retained when Config.TraceSolves is set.
+func (e *Engine) LastTrace(tag string) ([]obs.Event, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if sess := e.sessions[tag]; sess != nil && sess.lastTrace != nil {
+		out := make([]obs.Event, len(sess.lastTrace))
+		copy(out, sess.lastTrace)
+		return out, true
+	}
+	return nil, false
 }
 
 // Flush snapshots every window holding unsolved samples (of at least
@@ -422,7 +484,7 @@ func (e *Engine) dispatchLocked(sess *session) {
 	sess.since = 0
 	if sess.inFlight {
 		if sess.pending != nil {
-			e.coalesced++
+			e.coalesced.Inc()
 		}
 		sess.pending = snap
 		return
@@ -438,9 +500,13 @@ func (e *Engine) submitLocked(sess *session, snap *snapshot) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		var tr *obs.Tracer
+		if e.cfg.TraceSolves {
+			tr = obs.NewTracer()
+		}
 		begin := time.Now()
-		sol, serr := SolveWindow(snap.samples, e.cfg.Smooth, e.cfg.Solver)
-		return solved{sol: sol, err: serr, latency: time.Since(begin)}, nil
+		sol, serr := SolveWindow(snap.samples, e.cfg.Smooth, e.cfg.Solver, tr)
+		return solved{sol: sol, err: serr, latency: time.Since(begin), trace: tr.Events()}, nil
 	}, func(o batch.Outcome) {
 		e.complete(sess, snap, o)
 	})
@@ -477,18 +543,21 @@ func (e *Engine) complete(sess *session, snap *snapshot, o batch.Outcome) {
 		est.To = snap.samples[len(snap.samples)-1].Time
 	}
 	sess.latest = &est
-	e.solves++
+	if sv.trace != nil {
+		sess.lastTrace = sv.trace
+	}
+	e.solves.Inc()
 	if sv.err != nil {
-		e.solveErrors++
+		e.solveErrors.Inc()
 	}
 	if sv.latency > 0 {
-		e.latency.Add(sv.latency.Seconds())
+		e.latency.Observe(sv.latency.Seconds())
 	}
 	for _, ch := range e.subs {
 		select {
 		case ch <- est:
 		default:
-			e.subDropped++
+			e.droppedSub.Inc()
 		}
 	}
 	if next := sess.pending; next != nil {

@@ -9,6 +9,7 @@ import (
 
 	"github.com/rfid-lion/lion/internal/core"
 	"github.com/rfid-lion/lion/internal/geom"
+	lionobs "github.com/rfid-lion/lion/internal/obs"
 	"github.com/rfid-lion/lion/internal/rf"
 	"github.com/rfid-lion/lion/internal/sim"
 	"github.com/rfid-lion/lion/internal/traject"
@@ -338,7 +339,7 @@ func TestSubscribePublishesEstimates(t *testing.T) {
 func TestCoalescingUnderSlowSolver(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{}, 16)
-	solver := func(obs []core.PosPhase) (*core.Solution, error) {
+	solver := func(obs []core.PosPhase, _ *lionobs.Tracer) (*core.Solution, error) {
 		started <- struct{}{}
 		<-release
 		return &core.Solution{}, nil

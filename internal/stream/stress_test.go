@@ -9,6 +9,7 @@ import (
 
 	"github.com/rfid-lion/lion/internal/core"
 	"github.com/rfid-lion/lion/internal/geom"
+	lionobs "github.com/rfid-lion/lion/internal/obs"
 )
 
 // TestStressConcurrentPublishers hammers one engine from many goroutines:
@@ -168,7 +169,7 @@ func TestStressCloseWhileIngesting(t *testing.T) {
 // path: a subscriber that never reads must not stall solving, only lose
 // estimates (counted in SubDropped).
 func TestStressSlowSubscriberNeverBlocksSolves(t *testing.T) {
-	solver := func(obs []core.PosPhase) (*core.Solution, error) {
+	solver := func(obs []core.PosPhase, _ *lionobs.Tracer) (*core.Solution, error) {
 		return &core.Solution{Position: geom.V3(0, 0, 0)}, nil
 	}
 	e, err := New(Config{

@@ -77,5 +77,5 @@ func ReplayTrace(ctx context.Context, e *StreamEngine, tag string, trace []Sampl
 // window of samples — the exact computation a StreamEngine performs per
 // snapshot, exposed for equivalence checks and one-shot use.
 func SolveStreamWindow(samples []StreamSample, smooth int, solver StreamSolver) (*Solution, error) {
-	return stream.SolveWindow(samples, smooth, solver)
+	return stream.SolveWindow(samples, smooth, solver, nil)
 }

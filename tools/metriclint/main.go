@@ -1,0 +1,134 @@
+// Command metriclint enforces the repo's metric naming contract: every
+// metric registered through the obs registry (Counter, CounterVec, Gauge,
+// GaugeFunc, Histogram calls with a literal name) must match ^lion_[a-z_]+$
+// and appear in DESIGN.md's observability section. Run from the repo root;
+// `make check` wires it in.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var nameRE = regexp.MustCompile(`^lion_[a-z_]+$`)
+
+// registerFuncs are the obs.Registry methods that take a metric name as
+// their first argument.
+var registerFuncs = map[string]bool{
+	"Counter":    true,
+	"CounterVec": true,
+	"Gauge":      true,
+	"GaugeFunc":  true,
+	"Histogram":  true,
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	metrics, err := collect(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metriclint:", err)
+		os.Exit(1)
+	}
+	if len(metrics) == 0 {
+		fmt.Fprintln(os.Stderr, "metriclint: no registered metrics found (wrong directory?)")
+		os.Exit(1)
+	}
+	design, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metriclint:", err)
+		os.Exit(1)
+	}
+	var names []string
+	for name := range metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		if !nameRE.MatchString(name) {
+			fmt.Fprintf(os.Stderr, "metriclint: %s: metric %q does not match %s\n",
+				metrics[name], name, nameRE)
+			failed = true
+		}
+		if !strings.Contains(string(design), name) {
+			fmt.Fprintf(os.Stderr, "metriclint: %s: metric %q is not documented in DESIGN.md\n",
+				metrics[name], name)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("metriclint: %d metrics ok\n", len(names))
+}
+
+// collect walks the tree and returns metric name -> "file:line" of the first
+// registration. The obs package itself (registry internals, tests) and
+// vendored trees are skipped.
+func collect(root string) (map[string]string, error) {
+	metrics := make(map[string]string)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			base := d.Name()
+			if base == "vendor" || base == "testdata" || strings.HasPrefix(base, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		if strings.Contains(filepath.ToSlash(path), "internal/obs/") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registerFuncs[sel.Sel.Name] {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			// Only lion-prefixed literals are registry metrics; other
+			// receivers share method names (e.g. a config field "Counter").
+			if !strings.HasPrefix(name, "lion") {
+				return true
+			}
+			if _, seen := metrics[name]; !seen {
+				metrics[name] = fmt.Sprintf("%s:%d", path, fset.Position(lit.Pos()).Line)
+			}
+			return true
+		})
+		return nil
+	})
+	return metrics, err
+}
