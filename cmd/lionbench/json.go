@@ -1,0 +1,165 @@
+// The -json mode: a fixed suite of micro-benchmarks over the hot solve and
+// monitoring paths, run through testing.Benchmark and emitted as one JSON
+// document. Committed snapshots (BENCH_<pr>.json) accumulate the perf
+// trajectory across PRs; the schema is additive-only.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/core"
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/health"
+	"github.com/rfid-lion/lion/internal/rf"
+	"github.com/rfid-lion/lion/internal/stats"
+)
+
+// benchResult is one benchmark's measurements in the JSON snapshot.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchSnapshot is the top-level -json document.
+type benchSnapshot struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	MaxProcs   int           `json:"gomaxprocs"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// benchObs builds the standard 120-read line scan used by every solver
+// micro-benchmark: tag marching along x at 0.4 m height, antenna at
+// (0, 0.9, 0.4), exact linear-model phases plus N(0, 0.02) noise.
+func benchObs(lambda float64) []core.PosPhase {
+	ant := geom.V3(0, 0.9, 0.4)
+	rng := stats.NewRNG(13)
+	obs := make([]core.PosPhase, 120)
+	for i := range obs {
+		pos := geom.V3(-0.4+0.8*float64(i)/119, 0, 0.4)
+		theta := rf.PhaseOfDistance(ant.Dist(pos), lambda) + rng.Normal(0, 0.02)
+		obs[i] = core.PosPhase{Pos: pos, Theta: theta}
+	}
+	return obs
+}
+
+// benchSuite enumerates the tracked micro-benchmarks. Names are stable
+// identifiers: comparisons across snapshots key on them.
+func benchSuite() []struct {
+	name string
+	fn   func(*testing.B)
+} {
+	lambda := rf.DefaultBand().Wavelength()
+	obs := benchObs(lambda)
+	opts := core.DefaultSolveOptions()
+
+	monitored, err := health.New(health.Config{Calibrations: []health.Calibration{{
+		Antenna: "A1", Center: geom.V3(0, 0.9, 0.4), Offset: 1.3, Lambda: lambda,
+	}}})
+	if err != nil {
+		panic(err) // static config; cannot fail
+	}
+	solveObs := health.SolveObservation{
+		Tag: "T1", Window: 64, Residual: 0.01,
+		Condition: 10, Iterations: 3, Latency: 100 * time.Microsecond,
+	}
+
+	return []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"locate_2d_line", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Locate2DLine(obs, lambda, 0.2, true, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"phase_offset_calibration", func(b *testing.B) {
+			positions := make([]geom.Vec3, len(obs))
+			wrapped := make([]float64, len(obs))
+			for i, o := range obs {
+				positions[i] = o.Pos
+				wrapped[i] = rf.WrapPhase(o.Theta + 1.3)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.PhaseOffset(positions, wrapped, geom.V3(0, 0.9, 0.4), lambda); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"health_observe_solve_monitored", func(b *testing.B) {
+			o := solveObs
+			for i := 0; i < b.N; i++ {
+				o.Time = time.Duration(i) * time.Millisecond
+				monitored.ObserveSolve(o)
+			}
+		}},
+		{"health_observe_sample_monitored", func(b *testing.B) {
+			pos := geom.V3(0.5, 0, 0)
+			for i := 0; i < b.N; i++ {
+				monitored.ObserveSample("A1", time.Duration(i), pos, 1.0)
+			}
+		}},
+		{"health_observe_solve_nil", func(b *testing.B) {
+			var m *health.Monitor
+			for i := 0; i < b.N; i++ {
+				m.ObserveSolve(solveObs)
+			}
+		}},
+	}
+}
+
+// writeBenchJSON runs the suite and writes the snapshot to path ("-" for
+// stdout).
+func writeBenchJSON(path string, stdout io.Writer) error {
+	snap := benchSnapshot{
+		Schema:    "lionbench/1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	for _, bm := range benchSuite() {
+		fn := bm.fn
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		snap.Benchmarks = append(snap.Benchmarks, benchResult{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(stdout, "bench %s: %d iters, %.0f ns/op, %d allocs/op\n",
+			bm.name, r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "benchmark snapshot written to %s\n", path)
+	return nil
+}

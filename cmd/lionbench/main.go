@@ -104,9 +104,13 @@ func run(args []string, stdout io.Writer) error {
 		workers = fs.Int("workers", 0, "solver worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical, only wall-clock changes")
 		trace   = fs.String("trace", "", "run one instrumented calibration solve and write its NDJSON trace to this file")
 		profile = fs.String("profile", "", "write CPU and heap profiles to <prefix>.cpu.pprof / <prefix>.heap.pprof")
+		jsonOut = fs.String("json", "", "run the micro-benchmark suite and write a machine-readable snapshot to this file ('-' for stdout), skipping the experiment tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonOut != "" {
+		return writeBenchJSON(*jsonOut, stdout)
 	}
 	cfg := experiment.Config{Seed: *seed, Trials: *trials, Fast: *fast, Workers: *workers}
 

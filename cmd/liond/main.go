@@ -15,9 +15,13 @@
 //	POST /v1/samples               NDJSON lines or {"samples":[...]}
 //	GET  /v1/tags                  known tag ids
 //	GET  /v1/tags/{id}/estimate    latest estimate for one tag
-//	GET  /healthz                  liveness
+//	GET  /v1/alerts                health alerts + per-antenna drift status
+//	GET  /healthz                  liveness (always 200 while the process runs)
+//	GET  /readyz                   readiness (503 while draining or a critical alert fires)
 //	GET  /metrics                  Prometheus exposition (obs registry)
 //	GET  /debug/trace/{id}         last solve trace for one tag, NDJSON (-trace)
+//	GET  /debug/flight/{id}        flight-recorder traces for one tag, NDJSON
+//	GET  /debug/dashboard          dependency-free HTML health dashboard
 //	GET  /debug/pprof/...          net/http/pprof profiles
 //
 // On SIGINT/SIGTERM the daemon stops accepting requests, gives every dirty
@@ -38,11 +42,14 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"github.com/rfid-lion/lion/internal/core"
 	"github.com/rfid-lion/lion/internal/dataset"
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/health"
 	"github.com/rfid-lion/lion/internal/obs"
 	"github.com/rfid-lion/lion/internal/rf"
 	"github.com/rfid-lion/lion/internal/stream"
@@ -62,9 +69,11 @@ func main() {
 }
 
 type config struct {
-	addr  string
-	drain time.Duration
-	cfg   stream.Config
+	addr    string
+	drain   time.Duration
+	cfg     stream.Config
+	monitor bool
+	health  health.Config
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -92,6 +101,20 @@ func parseFlags(args []string) (*config, error) {
 		drain   = fs.Duration("drain", 10*time.Second, "shutdown drain timeout")
 		trace   = fs.Bool("trace", false,
 			"record each window's solve trace, served at /debug/trace/{tag}")
+		monitor = fs.Bool("monitor", true,
+			"run the solve-health monitor (alerts, flight recorder, /v1/alerts)")
+		antenna = fs.String("antenna", "A1",
+			"antenna id this daemon ingests for (alert scope and drift gauge label)")
+		calCenter = fs.String("cal-center", "",
+			"calibrated antenna phase center as x,y,z metres (enables drift detection)")
+		calOffset = fs.Float64("cal-offset", 0,
+			"calibrated phase offset Δθ = θ_T + θ_R, radians")
+		driftFrac = fs.Float64("drift-frac", 0.02,
+			"drift alert threshold as a fraction of the wavelength")
+		driftWindow = fs.Int("drift-window", 256,
+			"sliding sample window of the drift re-estimate")
+		holdDown = fs.Duration("hold-down", 2*time.Second,
+			"drift must persist this long (stream time) before the alert fires")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -120,9 +143,32 @@ func parseFlags(args []string) (*config, error) {
 	if *reject {
 		policy = stream.RejectNewest
 	}
+	hcfg := health.Config{Rules: health.DefaultRules()}
+	for i := range hcfg.Rules {
+		if hcfg.Rules[i].Signal == health.SignalDrift {
+			hcfg.Rules[i].Threshold = *driftFrac
+			hcfg.Rules[i].HoldDown = *holdDown
+		}
+	}
+	if *calCenter != "" {
+		center, err := parseVec3(*calCenter)
+		if err != nil {
+			return nil, fmt.Errorf("cal-center: %w", err)
+		}
+		hcfg.Calibrations = []health.Calibration{{
+			Antenna: *antenna,
+			Center:  center,
+			Offset:  *calOffset,
+			Lambda:  lam,
+			Window:  *driftWindow,
+		}}
+	}
+	hcfg.Logger = logx
 	return &config{
-		addr:  *addr,
-		drain: *drain,
+		addr:    *addr,
+		drain:   *drain,
+		monitor: *monitor,
+		health:  hcfg,
 		cfg: stream.Config{
 			WindowSize:  *window,
 			WindowSpan:  *span,
@@ -134,8 +180,26 @@ func parseFlags(args []string) (*config, error) {
 			JobTimeout:  *timeout,
 			Solver:      sv,
 			TraceSolves: *trace,
+			Antenna:     *antenna,
 		},
 	}, nil
+}
+
+// parseVec3 parses "x,y,z" into a vector.
+func parseVec3(s string) (geom.Vec3, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return geom.Vec3{}, fmt.Errorf("want x,y,z, got %q", s)
+	}
+	var out [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geom.Vec3{}, err
+		}
+		out[i] = v
+	}
+	return geom.V3(out[0], out[1], out[2]), nil
 }
 
 func buildSolver(name string, lambda float64, intervals []float64, stride int, positiveSide bool) (stream.Solver, error) {
@@ -160,7 +224,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	eng, err := stream.New(cfg.cfg)
+	eng, mon, err := buildPipeline(cfg)
 	if err != nil {
 		return err
 	}
@@ -175,16 +239,43 @@ func run(args []string) error {
 		"window", cfg.cfg.WindowSize,
 		"every", cfg.cfg.SolveEvery,
 		"workers", cfg.cfg.Workers,
-		"trace", cfg.cfg.TraceSolves)
-	return serve(ctx, ln, eng, cfg.drain)
+		"trace", cfg.cfg.TraceSolves,
+		"monitor", mon != nil,
+		"calibrations", len(cfg.health.Calibrations))
+	return serve(ctx, ln, eng, mon, cfg.drain)
+}
+
+// buildPipeline assembles the shared registry, the health monitor (unless
+// disabled), and the stream engine wired to both. Runtime gauges mount on
+// the same registry so /metrics carries the full picture.
+func buildPipeline(cfg *config) (*stream.Engine, *health.Monitor, error) {
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
+	var mon *health.Monitor
+	if cfg.monitor {
+		cfg.health.Registry = reg
+		var err error
+		if mon, err = health.New(cfg.health); err != nil {
+			return nil, nil, err
+		}
+	}
+	cfg.cfg.Registry = reg
+	cfg.cfg.Monitor = mon
+	eng, err := stream.New(cfg.cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, mon, nil
 }
 
 // serve runs the HTTP server on ln until ctx is cancelled, then shuts down
-// gracefully: the listener closes first so no new samples arrive, and the
-// engine drains every in-flight and dirty window before serve returns.
-func serve(ctx context.Context, ln net.Listener, eng *stream.Engine, drain time.Duration) error {
+// gracefully: readiness flips to draining first (load balancers stop routing
+// here), the listener closes so no new samples arrive, and the engine drains
+// every in-flight and dirty window before serve returns.
+func serve(ctx context.Context, ln net.Listener, eng *stream.Engine, mon *health.Monitor, drain time.Duration) error {
+	s := newServer(eng, mon)
 	srv := &http.Server{
-		Handler:           newServer(eng).routes(),
+		Handler:           s.routes(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
@@ -195,6 +286,7 @@ func serve(ctx context.Context, ln net.Listener, eng *stream.Engine, drain time.
 		return err
 	case <-ctx.Done():
 	}
+	s.draining.Store(true)
 	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
@@ -213,12 +305,14 @@ func serve(ctx context.Context, ln net.Listener, eng *stream.Engine, drain time.
 }
 
 type server struct {
-	eng   *stream.Engine
-	start time.Time
+	eng      *stream.Engine
+	mon      *health.Monitor // nil when -monitor=false
+	start    time.Time
+	draining atomic.Bool
 }
 
-func newServer(eng *stream.Engine) *server {
-	s := &server{eng: eng, start: time.Now()}
+func newServer(eng *stream.Engine, mon *health.Monitor) *server {
+	s := &server{eng: eng, mon: mon, start: time.Now()}
 	eng.Registry().GaugeFunc("lion_uptime_seconds", "Seconds since the daemon started.", func() float64 {
 		return time.Since(s.start).Seconds()
 	})
@@ -230,9 +324,13 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/samples", s.handleIngest)
 	mux.HandleFunc("GET /v1/tags", s.handleTags)
 	mux.HandleFunc("GET /v1/tags/{id}/estimate", s.handleEstimate)
+	mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.Handle("GET /metrics", s.eng.Registry().Handler())
 	mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
+	mux.HandleFunc("GET /debug/flight/{id}", s.handleFlight)
+	mux.HandleFunc("GET /debug/dashboard", s.handleDashboard)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)

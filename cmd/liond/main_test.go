@@ -53,7 +53,7 @@ func TestServeSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := stream.New(cfg.cfg)
+	eng, mon, err := buildPipeline(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestServeSmoke(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- serve(ctx, ln, eng, 5*time.Second) }()
+	go func() { serveDone <- serve(ctx, ln, eng, mon, 5*time.Second) }()
 	base := "http://" + ln.Addr().String()
 
 	// healthz answers before any traffic.
@@ -147,6 +147,10 @@ func TestServeSmoke(t *testing.T) {
 		"lion_uptime_seconds",
 		"lion_batch_jobs_total",
 		"# TYPE lion_stream_solve_latency_seconds histogram",
+		"lion_go_goroutines",
+		"lion_go_heap_inuse_bytes",
+		"lion_health_solves_observed_total",
+		"lion_health_alerts_active",
 	} {
 		if !strings.Contains(metrics, name) {
 			t.Errorf("metrics missing %q", name)

@@ -1,0 +1,32 @@
+package lion
+
+import (
+	"github.com/rfid-lion/lion/internal/health"
+)
+
+// Health-monitoring re-exports: the alerting layer behind liond's
+// /v1/alerts, /readyz, and /debug/dashboard. Build a HealthMonitor, hand it
+// to StreamConfig.Monitor, and the engine feeds it every accepted sample and
+// window solve; a nil *HealthMonitor costs nothing on the solve path (the
+// same contract as the nil Tracer).
+type (
+	// HealthMonitor evaluates quality rules over the solve stream.
+	HealthMonitor = health.Monitor
+	// HealthConfig parameterises a HealthMonitor.
+	HealthConfig = health.Config
+	// HealthRule is one declarative alerting rule.
+	HealthRule = health.Rule
+	// HealthAlert is one alert's current state and evidence.
+	HealthAlert = health.Alert
+	// HealthCalibration arms drift detection for one antenna's phase offset.
+	HealthCalibration = health.Calibration
+	// HealthDriftStatus reports an antenna's current drift estimate.
+	HealthDriftStatus = health.DriftStatus
+)
+
+// NewHealthMonitor validates the configuration and builds the monitor.
+func NewHealthMonitor(cfg HealthConfig) (*HealthMonitor, error) { return health.New(cfg) }
+
+// DefaultHealthRules returns the standard rule set (calibration drift,
+// residual/condition deviation, error and drop rates).
+func DefaultHealthRules() []HealthRule { return health.DefaultRules() }

@@ -1,0 +1,80 @@
+package health
+
+import "math"
+
+// baseline maintains a rolling picture of one signal for one scope: an EWMA
+// (the smoothed level static rules and dashboards read) plus a fixed-size
+// window with O(1) running sums, from which deviation rules take z-scores.
+// A persistent shift is absorbed by the window over time — baselines define
+// "normal" as the recent past, so deviation alerts catch the transition,
+// not the steady state; pair them with static rules for absolute limits.
+type baseline struct {
+	alpha float64
+	ewma  float64
+	seen  uint64
+
+	buf        []float64
+	n, next    int
+	sum, sumsq float64
+}
+
+func newBaseline(window int, alpha float64) *baseline {
+	return &baseline{alpha: alpha, buf: make([]float64, window)}
+}
+
+// add records one observation.
+func (b *baseline) add(v float64) {
+	if b.seen == 0 {
+		b.ewma = v
+	} else {
+		b.ewma += b.alpha * (v - b.ewma)
+	}
+	b.seen++
+	if old := b.buf[b.next]; b.n == len(b.buf) {
+		b.sum -= old
+		b.sumsq -= old * old
+	} else {
+		b.n++
+	}
+	b.buf[b.next] = v
+	b.next = (b.next + 1) % len(b.buf)
+	b.sum += v
+	b.sumsq += v * v
+}
+
+// mean returns the mean of the retained window, or 0 when empty.
+func (b *baseline) mean() float64 {
+	if b.n == 0 {
+		return 0
+	}
+	return b.sum / float64(b.n)
+}
+
+// std returns the population standard deviation of the retained window.
+func (b *baseline) std() float64 {
+	if b.n == 0 {
+		return 0
+	}
+	m := b.mean()
+	// Running-sum cancellation can push the variance a hair below zero.
+	v := b.sumsq/float64(b.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// zscore returns how many window standard deviations v sits from the window
+// mean. ok is false while the window is still warming up (fewer than
+// minSamples points) or when the window is degenerate (zero spread), so a
+// deviation rule cannot fire off an unestablished baseline.
+func (b *baseline) zscore(v float64, minSamples int) (z float64, ok bool) {
+	if b.n < minSamples {
+		return 0, false
+	}
+	sd := b.std()
+	if sd == 0 {
+		return 0, false
+	}
+	return (v - b.mean()) / sd, true
+}

@@ -1,0 +1,129 @@
+package health
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/rf"
+)
+
+// Calibration is the recorded phase calibration of one antenna: the
+// estimated phase center and the constant offset Δθ = θ_T + θ_R (Eq. 17)
+// measured at calibration time. The drift detector re-estimates Δθ
+// continuously from streamed samples against this record.
+type Calibration struct {
+	// Antenna identifies the antenna; it becomes the alert scope and the
+	// lion_health_drift_lambda gauge label, so ids must come from
+	// configuration, never from request input.
+	Antenna string
+	// Center is the calibrated phase center.
+	Center geom.Vec3
+	// Offset is the calibrated phase offset Δθ, radians in [0, 2π).
+	Offset float64
+	// Lambda is the carrier wavelength, metres.
+	Lambda float64
+	// Window is the sliding sample window the re-estimate averages over;
+	// zero defaults to 256.
+	Window int
+	// MinSamples gates the estimate until the window holds this many
+	// samples; zero defaults to 32.
+	MinSamples int
+}
+
+func (c Calibration) validate() error {
+	if c.Antenna == "" {
+		return fmt.Errorf("health: calibration needs an antenna id")
+	}
+	if !(c.Lambda > 0) {
+		return fmt.Errorf("health: calibration %q: wavelength %v must be positive", c.Antenna, c.Lambda)
+	}
+	if !c.Center.IsFinite() || math.IsNaN(c.Offset) || math.IsInf(c.Offset, 0) {
+		return fmt.Errorf("health: calibration %q has non-finite fields", c.Antenna)
+	}
+	if c.Window < 0 || c.MinSamples < 0 {
+		return fmt.Errorf("health: calibration %q has negative window", c.Antenna)
+	}
+	return nil
+}
+
+func (c Calibration) window() int {
+	if c.Window <= 0 {
+		return 256
+	}
+	return c.Window
+}
+
+func (c Calibration) minSamples() int {
+	if c.MinSamples <= 0 {
+		return 32
+	}
+	return c.MinSamples
+}
+
+// DriftStatus is a point-in-time view of one antenna's drift estimate.
+type DriftStatus struct {
+	Antenna string
+	// Calibrated is the recorded offset, radians.
+	Calibrated float64
+	// Estimated is the sliding-window re-estimate of the offset, radians in
+	// [0, 2π). Zero until MinSamples have been seen (Valid reports which).
+	Estimated float64
+	// DriftRad is the signed wrapped difference estimated − calibrated,
+	// radians in (−π, π].
+	DriftRad float64
+	// DriftLambda is |DriftRad|/4π: the equivalent ranging error as a
+	// fraction of the wavelength — the quantity the drift rule thresholds.
+	DriftLambda float64
+	// Samples is the current window fill.
+	Samples int
+	// Valid reports whether the window has reached MinSamples.
+	Valid bool
+}
+
+// driftEstimator re-estimates one antenna's phase offset over a sliding
+// window of samples. Each sample (pos, wrapped phase) yields an
+// instantaneous offset measurement wrapped − 4π·d/λ; the window keeps their
+// unit vectors on the circle with running sums, so the circular mean — the
+// same robust estimator core.PhaseOffset uses for calibration proper — is
+// O(1) per sample.
+type driftEstimator struct {
+	cal            Calibration
+	sin, cos       []float64
+	n, next        int
+	sumSin, sumCos float64
+}
+
+func newDriftEstimator(cal Calibration) *driftEstimator {
+	w := cal.window()
+	return &driftEstimator{cal: cal, sin: make([]float64, w), cos: make([]float64, w)}
+}
+
+// add records one streamed sample.
+func (d *driftEstimator) add(pos geom.Vec3, phase float64) {
+	diff := phase - rf.PhaseOfDistance(d.cal.Center.Dist(pos), d.cal.Lambda)
+	s, c := math.Sincos(diff)
+	if d.n == len(d.sin) {
+		d.sumSin -= d.sin[d.next]
+		d.sumCos -= d.cos[d.next]
+	} else {
+		d.n++
+	}
+	d.sin[d.next], d.cos[d.next] = s, c
+	d.next = (d.next + 1) % len(d.sin)
+	d.sumSin += s
+	d.sumCos += c
+}
+
+// status computes the current drift estimate.
+func (d *driftEstimator) status() DriftStatus {
+	st := DriftStatus{Antenna: d.cal.Antenna, Calibrated: d.cal.Offset, Samples: d.n}
+	if d.n < d.cal.minSamples() || (d.sumSin == 0 && d.sumCos == 0) {
+		return st
+	}
+	st.Valid = true
+	st.Estimated = rf.WrapPhase(math.Atan2(d.sumSin, d.sumCos))
+	st.DriftRad = rf.WrapPhaseSigned(st.Estimated - d.cal.Offset)
+	st.DriftLambda = math.Abs(st.DriftRad) / (4 * math.Pi)
+	return st
+}

@@ -1,0 +1,128 @@
+package health
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/obs"
+)
+
+// TraceRecord is one recorded window solve: the identifying metadata plus
+// the full solve trace. Records are what the flight recorder rings hold and
+// what alert evidence snapshots copy.
+type TraceRecord struct {
+	Tag    string
+	Seq    uint64
+	Time   time.Duration
+	Window int
+	Err    string
+	Events []obs.Event
+}
+
+// FlightRecorder keeps the last Depth solve traces per tag in fixed-size
+// rings, bounded to MaxTags tags (least-recently-written evicted). Total
+// memory is therefore bounded by Depth × MaxTags trace buffers regardless
+// of stream cardinality or uptime. Safe for concurrent use: alert
+// transitions snapshot from it while solves append.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	depth   int
+	maxTags int
+	tags    map[string]*flightRing
+}
+
+type flightRing struct {
+	buf     []TraceRecord
+	n, next int
+	touched time.Duration // stream time of the newest record, for eviction
+}
+
+// NewFlightRecorder returns a recorder keeping depth traces for up to
+// maxTags tags. Non-positive arguments default to 8 and 64.
+func NewFlightRecorder(depth, maxTags int) *FlightRecorder {
+	if depth <= 0 {
+		depth = 8
+	}
+	if maxTags <= 0 {
+		maxTags = 64
+	}
+	return &FlightRecorder{depth: depth, maxTags: maxTags, tags: make(map[string]*flightRing)}
+}
+
+// Record appends one solve trace to the tag's ring, evicting the oldest
+// record when full and the least-recently-written tag when the tag bound is
+// reached.
+func (f *FlightRecorder) Record(rec TraceRecord) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ring := f.tags[rec.Tag]
+	if ring == nil {
+		if len(f.tags) >= f.maxTags {
+			f.evictLocked()
+		}
+		ring = &flightRing{buf: make([]TraceRecord, f.depth)}
+		f.tags[rec.Tag] = ring
+	}
+	ring.buf[ring.next] = rec
+	ring.next = (ring.next + 1) % len(ring.buf)
+	if ring.n < len(ring.buf) {
+		ring.n++
+	}
+	ring.touched = rec.Time
+}
+
+// evictLocked drops the tag whose newest record is oldest.
+func (f *FlightRecorder) evictLocked() {
+	var victim string
+	var oldest time.Duration
+	first := true
+	for tag, ring := range f.tags {
+		if first || ring.touched < oldest {
+			victim, oldest, first = tag, ring.touched, false
+		}
+	}
+	delete(f.tags, victim)
+}
+
+// Tag returns the tag's retained traces, oldest first, or nil.
+func (f *FlightRecorder) Tag(tag string) []TraceRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ring := f.tags[tag]
+	if ring == nil || ring.n == 0 {
+		return nil
+	}
+	out := make([]TraceRecord, 0, ring.n)
+	start := ring.next - ring.n
+	if start < 0 {
+		start += len(ring.buf)
+	}
+	for i := 0; i < ring.n; i++ {
+		out = append(out, ring.buf[(start+i)%len(ring.buf)])
+	}
+	return out
+}
+
+// Tags returns the recorded tag ids, sorted.
+func (f *FlightRecorder) Tags() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.tags))
+	for tag := range f.tags {
+		out = append(out, tag)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the total number of retained traces across all tags.
+func (f *FlightRecorder) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	total := 0
+	for _, ring := range f.tags {
+		total += ring.n
+	}
+	return total
+}

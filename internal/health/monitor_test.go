@@ -1,0 +1,257 @@
+package health
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/obs"
+)
+
+func TestNewValidatesConfig(t *testing.T) {
+	dup := Rule{Name: "r", Signal: SignalResidual, Kind: KindStatic, Threshold: 1}
+	if _, err := New(Config{Rules: []Rule{dup, dup}}); err == nil {
+		t.Error("duplicate rule names accepted")
+	}
+	if _, err := New(Config{Rules: []Rule{{Name: "Bad Name", Signal: SignalResidual, Kind: KindStatic, Threshold: 1}}}); err == nil {
+		t.Error("invalid rule name accepted")
+	}
+	if _, err := New(Config{Rules: []Rule{{Name: "r", Signal: SignalDrift, Kind: KindDeviation, Threshold: 1}}}); err == nil {
+		t.Error("deviation kind on drift signal accepted")
+	}
+	cal := testCalibration()
+	if _, err := New(Config{Calibrations: []Calibration{cal, cal}}); err == nil {
+		t.Error("duplicate calibrations accepted")
+	}
+	if _, err := New(Config{Calibrations: []Calibration{{Antenna: "A1", Lambda: -1}}}); err == nil {
+		t.Error("invalid calibration accepted")
+	}
+	// Defaults: nil rules means DefaultRules.
+	m, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rules()) != len(DefaultRules()) {
+		t.Errorf("default rule count = %d, want %d", len(m.Rules()), len(DefaultRules()))
+	}
+}
+
+func TestMonitorMetricsExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	m, err := New(Config{
+		Rules: []Rule{{
+			Name: "residual_static", Signal: SignalResidual, Kind: KindStatic,
+			Threshold: 1, HoldDown: 0, Severity: SevCritical,
+		}},
+		Calibrations: []Calibration{testCalibration()},
+		Registry:     reg,
+		FlightDepth:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Registry() != reg {
+		t.Error("Registry() does not return the configured registry")
+	}
+	o := solveAt(1*time.Second, 5)
+	o.Trace = []obs.Event{{Kind: obs.KindSpanStart, Span: "solve"}}
+	m.ObserveSolve(o) // pending
+	o.Time = 2 * time.Second
+	m.ObserveSolve(o) // firing
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"lion_health_solves_observed_total 2",
+		"lion_health_flight_records_total 2",
+		`lion_health_alert_transitions_total{state="pending"} 1`,
+		`lion_health_alert_transitions_total{state="firing"} 1`,
+		`lion_health_alerts_firing{rule="residual_static"} 1`,
+		`lion_health_drift_lambda{antenna="A1"} 0`,
+		"lion_health_alerts_active 1",
+		"lion_health_flight_traces 2",
+		"lion_health_eval_seconds_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+
+	// Resolve: firing gauge returns to zero.
+	m.ObserveSolve(solveAt(3*time.Second, 0.1))
+	sb.Reset()
+	reg.WritePrometheus(&sb)
+	text = sb.String()
+	for _, want := range []string{
+		`lion_health_alerts_firing{rule="residual_static"} 0`,
+		`lion_health_alert_transitions_total{state="resolved"} 1`,
+		"lion_health_alerts_active 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestAlertsOrdering(t *testing.T) {
+	m, err := New(Config{
+		Rules: []Rule{
+			{Name: "residual_static", Signal: SignalResidual, Kind: KindStatic,
+				Threshold: 1, HoldDown: 0, Severity: SevWarning},
+			{Name: "condition_static", Signal: SignalCondition, Kind: KindStatic,
+				Threshold: 100, HoldDown: time.Hour, Severity: SevWarning},
+		},
+		FlightDepth: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := solveAt(1*time.Second, 5)
+	bad.Condition = 1e6
+	m.ObserveSolve(bad) // both pending
+	bad.Time = 2 * time.Second
+	m.ObserveSolve(bad) // residual fires; condition stays pending (1h hold)
+	got := m.Alerts()
+	if len(got) != 2 {
+		t.Fatalf("Alerts() = %+v", got)
+	}
+	if got[0].State != StateFiring || got[0].Rule != "residual_static" {
+		t.Errorf("Alerts()[0] = %+v, want firing residual_static first", got[0])
+	}
+	if got[1].State != StatePending || got[1].Rule != "condition_static" {
+		t.Errorf("Alerts()[1] = %+v, want pending condition_static", got[1])
+	}
+}
+
+func TestMonitorSeries(t *testing.T) {
+	m, err := New(Config{BaselineWindow: 4, FlightDepth: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		m.ObserveSolve(solveAt(time.Duration(i)*time.Second, float64(i)))
+	}
+	got := m.Series("T1", SignalResidual)
+	want := []float64{3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("Series = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Series = %v, want %v", got, want)
+		}
+	}
+	if m.Series("nope", SignalResidual) != nil {
+		t.Error("unknown tag returned a series")
+	}
+	if m.Series("T1", SignalDrift) != nil {
+		t.Error("non-per-tag signal returned a series")
+	}
+}
+
+func TestMonitorTagEviction(t *testing.T) {
+	m, err := New(Config{MaxTags: 4, FlightDepth: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		o := solveAt(time.Duration(i+1)*time.Second, 0.1)
+		o.Tag = string(rune('A' + i))
+		m.ObserveSolve(o)
+	}
+	if got := len(m.tags); got != 4 {
+		t.Errorf("tag sessions = %d, want bound 4", got)
+	}
+	if m.Series("A", SignalResidual) != nil {
+		t.Error("evicted tag still has baselines")
+	}
+	if m.Series("J", SignalResidual) == nil {
+		t.Error("newest tag missing baselines")
+	}
+}
+
+func TestDropRateSignal(t *testing.T) {
+	m, err := New(Config{
+		Rules: []Rule{{
+			Name: "stream_drops", Signal: SignalDropRate, Kind: KindStatic,
+			Threshold: 0.25, HoldDown: 0, Severity: SevWarning,
+		}},
+		RateAlpha:   0.99, // follow the instantaneous ratio almost exactly
+		FlightDepth: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := geom.V3(0, 0, 0)
+	// 1 accepted, 9 dropped between solve ticks: drop ratio 0.9.
+	m.ObserveSample("A1", 1*time.Second, pos, 0)
+	for i := 0; i < 9; i++ {
+		m.ObserveDrop(1 * time.Second)
+	}
+	m.ObserveSolve(solveAt(2*time.Second, 0.1))
+	m.ObserveSolve(solveAt(3*time.Second, 0.1))
+	a := findAlert(m.Alerts(), "stream_drops", StateFiring)
+	if a == nil {
+		t.Fatalf("no firing drop-rate alert: %+v", m.Alerts())
+	}
+	if a.Scope != "stream" {
+		t.Errorf("drop alert scope = %q, want stream", a.Scope)
+	}
+	if a.Value < 0.25 {
+		t.Errorf("drop alert value = %v, want > 0.25", a.Value)
+	}
+}
+
+func TestErrorRateSignal(t *testing.T) {
+	m, err := New(Config{
+		Rules: []Rule{{
+			Name: "solve_errors", Signal: SignalErrorRate, Kind: KindStatic,
+			Threshold: 0.5, HoldDown: 0, Severity: SevCritical,
+		}},
+		RateAlpha:   0.5,
+		FlightDepth: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail := solveAt(1*time.Second, 0)
+	fail.Failed, fail.Err = true, "rank deficient"
+	m.ObserveSolve(fail)
+	fail.Time = 2 * time.Second
+	m.ObserveSolve(fail)
+	fail.Time = 3 * time.Second
+	m.ObserveSolve(fail)
+	if findAlert(m.Alerts(), "solve_errors", StateFiring) == nil {
+		t.Fatalf("no firing error-rate alert: %+v", m.Alerts())
+	}
+	// Recovery: healthy solves pull the EWMA back under threshold.
+	for i := 4; i < 12; i++ {
+		m.ObserveSolve(solveAt(time.Duration(i)*time.Second, 0.1))
+	}
+	if findAlert(m.Alerts(), "solve_errors", StateResolved) == nil {
+		t.Fatalf("error-rate alert did not resolve: %+v", m.Alerts())
+	}
+}
+
+func TestDefaultRulesValid(t *testing.T) {
+	for _, r := range DefaultRules() {
+		if err := r.validate(); err != nil {
+			t.Errorf("default rule %q invalid: %v", r.Name, err)
+		}
+	}
+}
+
+func TestDriftLambdaMatchesRangingError(t *testing.T) {
+	// Sanity of the λ-fraction convention: a drift of Δφ radians in the
+	// phase offset biases ranging by Δd = Δφ·λ/(4π), i.e. DriftLambda·λ.
+	driftRad := 0.3
+	lambda := 0.328
+	wantMetres := driftRad * lambda / (4 * math.Pi)
+	gotMetres := (driftRad / (4 * math.Pi)) * lambda
+	if math.Abs(wantMetres-gotMetres) > 1e-15 {
+		t.Errorf("λ-fraction convention inconsistent: %v vs %v", wantMetres, gotMetres)
+	}
+}

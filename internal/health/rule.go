@@ -1,0 +1,127 @@
+package health
+
+import (
+	"fmt"
+	"regexp"
+	"time"
+)
+
+// Kind selects how a rule's threshold is interpreted.
+type Kind int
+
+const (
+	// KindStatic violates when the signal value exceeds Threshold.
+	KindStatic Kind = iota
+	// KindDeviation violates when the signal's z-score against the scope's
+	// rolling baseline exceeds Threshold (in standard deviations, one-sided
+	// upward: quality signals only ever degrade by growing).
+	KindDeviation
+)
+
+// String names the kind for wire output.
+func (k Kind) String() string {
+	if k == KindDeviation {
+		return "deviation"
+	}
+	return "static"
+}
+
+// Severity ranks an alert's urgency.
+type Severity int
+
+const (
+	// SevWarning flags degradation worth investigating.
+	SevWarning Severity = iota
+	// SevCritical flags conditions that invalidate estimates; a firing
+	// critical rule turns liond's readiness probe unhealthy.
+	SevCritical
+)
+
+// String names the severity for wire output.
+func (s Severity) String() string {
+	if s == SevCritical {
+		return "critical"
+	}
+	return "warning"
+}
+
+// ruleNameRE bounds rule names: they become metric label values.
+var ruleNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// Rule is one declarative health check, evaluated on every window solve for
+// the scopes its signal applies to.
+type Rule struct {
+	// Name identifies the rule in alerts, logs, and the
+	// lion_health_alerts_firing{rule=...} gauge. Lowercase [a-z0-9_].
+	Name string
+	// Signal selects the monitored quantity.
+	Signal Signal
+	// Kind selects static-threshold or deviation-from-baseline semantics.
+	Kind Kind
+	// Threshold is the violation limit: a signal value for static rules, a
+	// z-score (standard deviations) for deviation rules.
+	Threshold float64
+	// HoldDown is how long a violation must persist before the pending
+	// alert fires (debounce). Zero fires on the first confirmed violation
+	// after the pending evaluation, i.e. the second consecutive violating
+	// tick.
+	HoldDown time.Duration
+	// ResolveAfter is how long the signal must stay healthy before a firing
+	// alert resolves (hysteresis). Zero means resolve takes HoldDown.
+	ResolveAfter time.Duration
+	// Severity ranks the alert.
+	Severity Severity
+}
+
+func (r Rule) validate() error {
+	if !ruleNameRE.MatchString(r.Name) {
+		return fmt.Errorf("health: rule name %q must match %s", r.Name, ruleNameRE)
+	}
+	if !knownSignal(r.Signal) {
+		return fmt.Errorf("health: rule %q has unknown signal %q", r.Name, r.Signal)
+	}
+	if r.Threshold <= 0 {
+		return fmt.Errorf("health: rule %q threshold %v must be positive", r.Name, r.Threshold)
+	}
+	if r.HoldDown < 0 || r.ResolveAfter < 0 {
+		return fmt.Errorf("health: rule %q has negative duration", r.Name)
+	}
+	if r.Kind == KindDeviation {
+		switch r.Signal {
+		case SignalErrorRate, SignalDropRate, SignalDrift:
+			return fmt.Errorf("health: rule %q: signal %q supports only static thresholds", r.Name, r.Signal)
+		}
+	}
+	return nil
+}
+
+func (r Rule) resolveAfter() time.Duration {
+	if r.ResolveAfter > 0 {
+		return r.ResolveAfter
+	}
+	return r.HoldDown
+}
+
+// DefaultRules is the stock rule set liond runs with: absolute guards on
+// conditioning, solve failures and stream drops, deviation guards on the
+// per-tag solve-quality signals, and the calibration-drift rule (inert until
+// an antenna calibration is configured). Thresholds follow the repo's
+// simulated-testbed scales; production deployments tune them per site.
+func DefaultRules() []Rule {
+	return []Rule{
+		{Name: "ill_conditioned", Signal: SignalCondition, Kind: KindStatic,
+			Threshold: 1e8, HoldDown: 2 * time.Second, Severity: SevCritical},
+		{Name: "residual_anomaly", Signal: SignalResidual, Kind: KindDeviation,
+			Threshold: 8, HoldDown: 2 * time.Second, Severity: SevWarning},
+		{Name: "iteration_anomaly", Signal: SignalIterations, Kind: KindDeviation,
+			Threshold: 8, HoldDown: 2 * time.Second, Severity: SevWarning},
+		{Name: "latency_anomaly", Signal: SignalLatency, Kind: KindDeviation,
+			Threshold: 10, HoldDown: 5 * time.Second, Severity: SevWarning},
+		{Name: "solve_errors", Signal: SignalErrorRate, Kind: KindStatic,
+			Threshold: 0.5, HoldDown: 2 * time.Second, Severity: SevCritical},
+		{Name: "stream_drops", Signal: SignalDropRate, Kind: KindStatic,
+			Threshold: 0.25, HoldDown: 5 * time.Second, Severity: SevWarning},
+		{Name: "calibration_drift", Signal: SignalDrift, Kind: KindStatic,
+			Threshold: 0.02, HoldDown: 2 * time.Second, Severity: SevCritical},
+	}
+}

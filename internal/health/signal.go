@@ -1,0 +1,75 @@
+package health
+
+import (
+	"time"
+
+	"github.com/rfid-lion/lion/internal/obs"
+)
+
+// Signal names one monitored quantity. Per-solve signals (residual,
+// condition, iterations, latency) are evaluated against the observing tag's
+// own baseline; stream signals (error rate, drop rate) are global; drift is
+// per antenna.
+type Signal string
+
+const (
+	// SignalResidual is Solution.FinalResidual: the 2-norm of the residual
+	// vector at the final IRWLS estimate.
+	SignalResidual Signal = "residual_norm"
+	// SignalCondition is Solution.ConditionEstimate: the solver's lower
+	// bound on the unweighted system's condition number.
+	SignalCondition Signal = "condition_estimate"
+	// SignalIterations is the IRWLS iteration count of the solve.
+	SignalIterations Signal = "irls_iterations"
+	// SignalLatency is the wall time of the window solve, in seconds.
+	SignalLatency Signal = "solve_latency_seconds"
+	// SignalErrorRate is the EWMA fraction of window solves returning an
+	// error, across all tags.
+	SignalErrorRate Signal = "solve_error_rate"
+	// SignalDropRate is the EWMA fraction of stream samples dropped
+	// (overflow or age eviction) among all ingest events since the previous
+	// evaluation tick.
+	SignalDropRate Signal = "drop_rate"
+	// SignalDrift is the calibration drift: |re-estimated − calibrated phase
+	// offset| expressed as a fraction of the wavelength (Δφ/4π, the
+	// equivalent ranging error over λ). Evaluated per calibrated antenna.
+	SignalDrift Signal = "drift_lambda"
+)
+
+// knownSignal reports whether s is one of the Signal constants.
+func knownSignal(s Signal) bool {
+	switch s {
+	case SignalResidual, SignalCondition, SignalIterations, SignalLatency,
+		SignalErrorRate, SignalDropRate, SignalDrift:
+		return true
+	}
+	return false
+}
+
+// SolveObservation carries one window solve's quality signals into the
+// monitor. Time is the stream timestamp of the window's last sample — the
+// monitor's logical clock, which keeps alert timing deterministic under
+// accelerated replay.
+type SolveObservation struct {
+	Tag     string
+	Antenna string
+	Time    time.Duration
+	Window  int
+	Seq     uint64
+
+	Residual   float64
+	Condition  float64
+	Iterations int
+	Latency    time.Duration
+
+	// Failed marks a solve that returned an error; the solution-derived
+	// signals above are not meaningful and only the error-rate signal is
+	// updated.
+	Failed bool
+	// Err is the failed solve's error text, recorded with the flight trace.
+	Err string
+
+	// Trace is the solve's tracer event log, recorded into the flight
+	// recorder when present.
+	Trace []obs.Event
+}

@@ -82,12 +82,28 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(name, &gaugeFunc{name: name, help: help, fn: fn})
 }
 
+// GaugeVec returns a gauge family keyed by one label, creating it on first
+// use.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	return r.register(name, &GaugeVec{name: name, help: help, label: label}).(*GaugeVec)
+}
+
 // Histogram returns the histogram with this name, creating it on first use
 // with the given bucket upper bounds (nil means DefBuckets). Besides the
 // cumulative Prometheus buckets it keeps a bounded window of recent raw
 // observations for quantile queries.
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	return r.register(name, newHistogram(name, help, buckets)).(*Histogram)
+}
+
+// FindHistogram returns the registered histogram with this name, if any —
+// read access for in-process consumers (the liond dashboard) without
+// re-registering.
+func (r *Registry) FindHistogram(name string) (*Histogram, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.metrics[name].(*Histogram)
+	return h, ok
 }
 
 // Names returns the registered metric names, sorted.
@@ -199,6 +215,54 @@ func (v *CounterVec) expose(w io.Writer) {
 	v.mu.Unlock()
 	for i, value := range values {
 		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, value, children[i].Value())
+	}
+}
+
+// GaugeVec is a family of gauges distinguished by the value of a single
+// label (e.g. lion_health_drift_lambda{antenna=...}). Label values must come
+// from a bounded set — configuration, rule names — never from unbounded
+// request inputs; tools/metriclint flags dynamic values without a
+// metriclint:bounded marker.
+type GaugeVec struct {
+	mu       sync.Mutex
+	children map[string]*Gauge
+	name     string
+	help     string
+	label    string
+}
+
+// With returns the child gauge for the label value, creating it on first
+// use. Hot paths should call With once up front and keep the child.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.children == nil {
+		v.children = make(map[string]*Gauge)
+	}
+	g, ok := v.children[value]
+	if !ok {
+		g = &Gauge{name: v.name}
+		v.children[value] = g
+	}
+	return g
+}
+
+func (v *GaugeVec) describe() (string, string, string) { return v.name, v.help, "gauge" }
+
+func (v *GaugeVec) expose(w io.Writer) {
+	v.mu.Lock()
+	values := make([]string, 0, len(v.children))
+	for value := range v.children {
+		values = append(values, value)
+	}
+	sort.Strings(values)
+	children := make([]*Gauge, len(values))
+	for i, value := range values {
+		children[i] = v.children[value]
+	}
+	v.mu.Unlock()
+	for i, value := range values {
+		fmt.Fprintf(w, "%s{%s=%q} %s\n", v.name, v.label, value, formatFloat(children[i].Value()))
 	}
 }
 
@@ -326,6 +390,15 @@ func (h *Histogram) WindowMean() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.window.Mean()
+}
+
+// WindowSnapshot returns a copy of the retained recent observations in
+// insertion order (oldest first), or nil when empty — the raw series behind
+// Quantile, which dashboards render as sparklines.
+func (h *Histogram) WindowSnapshot() []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.window.Snapshot()
 }
 
 func (h *Histogram) describe() (string, string, string) { return h.name, h.help, "histogram" }

@@ -1,0 +1,49 @@
+package obs
+
+import "runtime/metrics"
+
+// Names read from runtime/metrics. heap in-use is the sum of the objects and
+// unused classes, i.e. the bytes in spans currently dedicated to heap
+// objects (MemStats.HeapInuse).
+const (
+	rmGoroutines  = "/sched/goroutines:goroutines"
+	rmHeapObjects = "/memory/classes/heap/objects:bytes"
+	rmHeapUnused  = "/memory/classes/heap/unused:bytes"
+	rmGCPause     = "/cpu/classes/gc/pause:cpu-seconds"
+	rmGCCycles    = "/gc/cycles/total:gc-cycles"
+)
+
+// RegisterRuntimeMetrics bridges Go runtime health into the registry as
+// lion_go_* gauges sampled from runtime/metrics at exposition time: live
+// goroutine count, heap bytes in use, cumulative GC stop-the-world pause
+// time, and completed GC cycles. Safe to call more than once on the same
+// registry (re-registration keeps the first function).
+func RegisterRuntimeMetrics(r *Registry) {
+	r.GaugeFunc("lion_go_goroutines", "Live goroutines.", func() float64 {
+		return readRuntime(rmGoroutines)
+	})
+	r.GaugeFunc("lion_go_heap_inuse_bytes", "Heap bytes in spans currently in use.", func() float64 {
+		return readRuntime(rmHeapObjects) + readRuntime(rmHeapUnused)
+	})
+	r.GaugeFunc("lion_go_gc_pause_seconds_total", "Cumulative GC pause CPU time, seconds.", func() float64 {
+		return readRuntime(rmGCPause)
+	})
+	r.GaugeFunc("lion_go_gc_cycles_total", "Completed GC cycles since process start.", func() float64 {
+		return readRuntime(rmGCCycles)
+	})
+}
+
+// readRuntime samples one runtime/metrics value as a float64; unknown or
+// bad-kind names read as 0 (forward compatibility over crashing a gauge).
+func readRuntime(name string) float64 {
+	sample := []metrics.Sample{{Name: name}}
+	metrics.Read(sample)
+	switch sample[0].Value.Kind() {
+	case metrics.KindUint64:
+		return float64(sample[0].Value.Uint64())
+	case metrics.KindFloat64:
+		return sample[0].Value.Float64()
+	default:
+		return 0
+	}
+}

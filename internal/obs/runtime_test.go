@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRuntimeMetricsExposition registers the runtime bridge and checks every
+// lion_go_* gauge appears in the exposition with a sane value.
+func TestRuntimeMetricsExposition(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	RegisterRuntimeMetrics(r) // idempotent
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	text := sb.String()
+
+	values := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		values[fields[0]] = v
+	}
+
+	if g := values["lion_go_goroutines"]; g < 1 || g > 1e6 {
+		t.Errorf("lion_go_goroutines = %v, want a live-process count", g)
+	}
+	if h := values["lion_go_heap_inuse_bytes"]; h <= 0 {
+		t.Errorf("lion_go_heap_inuse_bytes = %v, want > 0", h)
+	}
+	if p, ok := values["lion_go_gc_pause_seconds_total"]; !ok || p < 0 {
+		t.Errorf("lion_go_gc_pause_seconds_total = %v (present %v), want >= 0", p, ok)
+	}
+	cyclesBefore := values["lion_go_gc_cycles_total"]
+	runtime.GC()
+	sb.Reset()
+	r.WritePrometheus(&sb)
+	m := regexp.MustCompile(`(?m)^lion_go_gc_cycles_total (\S+)$`).FindStringSubmatch(sb.String())
+	if m == nil {
+		t.Fatal("lion_go_gc_cycles_total missing after GC")
+	}
+	cyclesAfter, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyclesAfter <= cyclesBefore {
+		t.Errorf("gc cycles did not advance after runtime.GC(): %v -> %v", cyclesBefore, cyclesAfter)
+	}
+
+	for _, typ := range []string{
+		"# TYPE lion_go_goroutines gauge",
+		"# TYPE lion_go_heap_inuse_bytes gauge",
+		"# TYPE lion_go_gc_pause_seconds_total gauge",
+		"# TYPE lion_go_gc_cycles_total gauge",
+	} {
+		if !strings.Contains(text, typ) {
+			t.Errorf("exposition missing %q", typ)
+		}
+	}
+}
+
+// TestGaugeVecExposition freezes the GaugeVec exposition format: one line
+// per child, label values sorted and quoted.
+func TestGaugeVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("lion_test_family", "A labelled gauge.", "antenna")
+	v.With("b").Set(2.5)
+	v.With("a").Set(-1)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	want := "# HELP lion_test_family A labelled gauge.\n" +
+		"# TYPE lion_test_family gauge\n" +
+		"lion_test_family{antenna=\"a\"} -1\n" +
+		"lion_test_family{antenna=\"b\"} 2.5\n"
+	if sb.String() != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", sb.String(), want)
+	}
+	if got := v.With("a").Value(); got != -1 {
+		t.Errorf("With(a) = %v, want -1", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/rfid-lion/lion/internal/batch"
 	"github.com/rfid-lion/lion/internal/core"
 	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/health"
 	"github.com/rfid-lion/lion/internal/obs"
 )
 
@@ -93,7 +94,16 @@ type Config struct {
 	// TraceSolves attaches a fresh obs.Tracer to every window solve and
 	// retains the last completed trace per tag (Engine.LastTrace). Off by
 	// default: the hot path then passes a nil tracer, which costs nothing.
+	// A Monitor with an enabled flight recorder also turns tracing on.
 	TraceSolves bool
+	// Monitor, when non-nil, receives a health hook on every accepted
+	// sample, every drop, and every completed window solve. Nil keeps the
+	// solve path monitor-free at zero cost (one nil check).
+	Monitor *health.Monitor
+	// Antenna labels this engine's samples for the monitor's per-antenna
+	// drift detector. Single-reader deployments run one engine per antenna;
+	// the id must match a health.Calibration to enable drift estimation.
+	Antenna string
 }
 
 func (c Config) minSamples() int {
@@ -158,8 +168,11 @@ type Metrics struct {
 
 // Engine ingests per-tag sample streams and publishes estimates.
 type Engine struct {
-	cfg  Config
-	pool *batch.Pool
+	cfg Config
+	// traceSolves caches TraceSolves || Monitor.WantsTraces(): the flight
+	// recorder needs tracer events even when LastTrace retention is off.
+	traceSolves bool
+	pool        *batch.Pool
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -230,10 +243,11 @@ func New(cfg Config) (*Engine, error) {
 		reg = obs.NewRegistry()
 	}
 	e := &Engine{
-		cfg:      cfg,
-		pool:     batch.NewPool(batch.Options{Workers: cfg.Workers, JobTimeout: cfg.JobTimeout, Registry: reg}),
-		sessions: make(map[string]*session),
-		subs:     make(map[int]chan Estimate),
+		cfg:         cfg,
+		traceSolves: cfg.TraceSolves || cfg.Monitor.WantsTraces(),
+		pool:        batch.NewPool(batch.Options{Workers: cfg.Workers, JobTimeout: cfg.JobTimeout, Registry: reg}),
+		sessions:    make(map[string]*session),
+		subs:        make(map[int]chan Estimate),
 
 		reg:         reg,
 		ingested:    reg.Counter("lion_stream_ingested_total", "Samples accepted into a window."),
@@ -308,19 +322,26 @@ func (e *Engine) Ingest(tag string, s Sample) error {
 		for sess.n > 0 && s.Time-sess.at(0).Time > span {
 			sess.evictOldest()
 			e.droppedAge.Inc()
+			e.cfg.Monitor.ObserveDrop(s.Time)
 		}
 	}
 	if sess.n == len(sess.buf) {
 		if e.cfg.Policy == RejectNewest {
 			e.droppedOverflow.Inc()
+			e.cfg.Monitor.ObserveDrop(s.Time)
 			return fmt.Errorf("%w: tag %q holds %d samples", ErrWindowFull, tag, sess.n)
 		}
 		sess.evictOldest()
 		e.droppedOverflow.Inc()
+		// EvictOldest rotation is not reported to the monitor: in steady
+		// state every full window rotates on each sample, and the evicted
+		// sample has already contributed to solves. Health drop accounting
+		// covers real losses only — RejectNewest refusals and age evictions.
 	}
 	sess.push(s)
 	sess.since++
 	e.ingested.Inc()
+	e.cfg.Monitor.ObserveSample(e.cfg.Antenna, s.Time, s.Pos, s.Phase)
 	if sess.n >= e.cfg.minSamples() && sess.since >= e.cfg.solveEvery() {
 		e.dispatchLocked(sess)
 	}
@@ -501,7 +522,7 @@ func (e *Engine) submitLocked(sess *session, snap *snapshot) {
 			return nil, err
 		}
 		var tr *obs.Tracer
-		if e.cfg.TraceSolves {
+		if e.traceSolves {
 			tr = obs.NewTracer()
 		}
 		begin := time.Now()
@@ -528,7 +549,6 @@ func (e *Engine) complete(sess *session, snap *snapshot, o batch.Outcome) {
 		sv = v
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	sess.seq++
 	est := Estimate{
 		Tag:      snap.tag,
@@ -567,6 +587,29 @@ func (e *Engine) complete(sess *session, snap *snapshot, o batch.Outcome) {
 		sess.inFlight = false
 	}
 	e.cond.Broadcast()
+	e.mu.Unlock()
+	// The health hook runs outside the engine mutex: a full rule pass (and
+	// a possible evidence snapshot) must never serialise against ingest.
+	if m := e.cfg.Monitor; m != nil {
+		obsv := health.SolveObservation{
+			Tag:     est.Tag,
+			Antenna: e.cfg.Antenna,
+			Time:    est.To,
+			Window:  est.Window,
+			Seq:     est.Seq,
+			Latency: est.Latency,
+			Trace:   sv.trace,
+		}
+		if sv.err != nil {
+			obsv.Failed = true
+			obsv.Err = sv.err.Error()
+		} else if sol := sv.sol; sol != nil {
+			obsv.Residual = sol.FinalResidual
+			obsv.Condition = sol.ConditionEstimate
+			obsv.Iterations = sol.Iterations
+		}
+		m.ObserveSolve(obsv)
+	}
 }
 
 // wait blocks until no session has an in-flight or pending solve, or ctx

@@ -1,8 +1,15 @@
-// Command metriclint enforces the repo's metric naming contract: every
-// metric registered through the obs registry (Counter, CounterVec, Gauge,
-// GaugeFunc, Histogram calls with a literal name) must match ^lion_[a-z_]+$
-// and appear in DESIGN.md's observability section. Run from the repo root;
-// `make check` wires it in.
+// Command metriclint enforces the repo's metric contracts. Every metric
+// registered through the obs registry (Counter, CounterVec, Gauge, GaugeFunc,
+// GaugeVec, Histogram calls with a literal name) must match ^lion_[a-z_]+$
+// and appear in DESIGN.md's observability section; vec label names must be
+// valid Prometheus label identifiers. Label cardinality is also policed:
+// a `.With(x)` call where x is not a string literal mints a time series per
+// distinct runtime value, so it must carry a
+//
+//	// metriclint:bounded <reason>
+//
+// marker (same line or the line above) explaining why the value set is
+// finite. Run from the repo root; `make check` wires it in.
 package main
 
 import (
@@ -19,16 +26,21 @@ import (
 	"strings"
 )
 
-var nameRE = regexp.MustCompile(`^lion_[a-z_]+$`)
+var (
+	nameRE  = regexp.MustCompile(`^lion_[a-z_]+$`)
+	labelRE = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+)
 
 // registerFuncs are the obs.Registry methods that take a metric name as
-// their first argument.
-var registerFuncs = map[string]bool{
-	"Counter":    true,
-	"CounterVec": true,
-	"Gauge":      true,
-	"GaugeFunc":  true,
-	"Histogram":  true,
+// their first argument. The value is the index of the label-name argument,
+// or -1 for unlabelled metrics.
+var registerFuncs = map[string]int{
+	"Counter":    -1,
+	"CounterVec": 2,
+	"Gauge":      -1,
+	"GaugeFunc":  -1,
+	"GaugeVec":   2,
+	"Histogram":  -1,
 }
 
 func main() {
@@ -36,49 +48,65 @@ func main() {
 	if len(os.Args) > 1 {
 		root = os.Args[1]
 	}
-	metrics, err := collect(root)
+	rep, err := lint(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "metriclint:", err)
 		os.Exit(1)
 	}
-	if len(metrics) == 0 {
+	if len(rep.metrics) == 0 {
 		fmt.Fprintln(os.Stderr, "metriclint: no registered metrics found (wrong directory?)")
 		os.Exit(1)
 	}
-	design, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "metriclint:", err)
+	if len(rep.issues) > 0 {
+		for _, issue := range rep.issues {
+			fmt.Fprintln(os.Stderr, "metriclint:", issue)
+		}
 		os.Exit(1)
 	}
+	fmt.Printf("metriclint: %d metrics ok\n", len(rep.metrics))
+}
+
+// report is the lint result: the registered metrics (name -> "file:line" of
+// first registration) and the sorted list of violations.
+type report struct {
+	metrics map[string]string
+	issues  []string
+}
+
+// lint walks the tree, collects registrations, and cross-checks DESIGN.md.
+func lint(root string) (*report, error) {
+	rep, err := collect(root)
+	if err != nil {
+		return nil, err
+	}
+	design, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		return nil, err
+	}
 	var names []string
-	for name := range metrics {
+	for name := range rep.metrics {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	failed := false
 	for _, name := range names {
 		if !nameRE.MatchString(name) {
-			fmt.Fprintf(os.Stderr, "metriclint: %s: metric %q does not match %s\n",
-				metrics[name], name, nameRE)
-			failed = true
+			rep.issues = append(rep.issues, fmt.Sprintf("%s: metric %q does not match %s",
+				rep.metrics[name], name, nameRE))
 		}
 		if !strings.Contains(string(design), name) {
-			fmt.Fprintf(os.Stderr, "metriclint: %s: metric %q is not documented in DESIGN.md\n",
-				metrics[name], name)
-			failed = true
+			rep.issues = append(rep.issues, fmt.Sprintf("%s: metric %q is not documented in DESIGN.md",
+				rep.metrics[name], name))
 		}
 	}
-	if failed {
-		os.Exit(1)
-	}
-	fmt.Printf("metriclint: %d metrics ok\n", len(names))
+	sort.Strings(rep.issues)
+	return rep, nil
 }
 
-// collect walks the tree and returns metric name -> "file:line" of the first
-// registration. The obs package itself (registry internals, tests) and
-// vendored trees are skipped.
-func collect(root string) (map[string]string, error) {
-	metrics := make(map[string]string)
+// collect walks the tree and gathers registrations plus in-file violations
+// (bad label names, unmarked dynamic .With values). The obs package itself
+// (registry internals, tests) and vendored trees are skipped.
+func collect(root string) (*report, error) {
+	rep := &report{metrics: make(map[string]string)}
 	fset := token.NewFileSet()
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -97,38 +125,90 @@ func collect(root string) (map[string]string, error) {
 		if strings.Contains(filepath.ToSlash(path), "internal/obs/") {
 			return nil
 		}
-		file, err := parser.ParseFile(fset, path, nil, 0)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || len(call.Args) == 0 {
-				return true
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || !registerFuncs[sel.Sel.Name] {
-				return true
-			}
-			lit, ok := call.Args[0].(*ast.BasicLit)
-			if !ok || lit.Kind != token.STRING {
-				return true
-			}
-			name, err := strconv.Unquote(lit.Value)
-			if err != nil {
-				return true
-			}
-			// Only lion-prefixed literals are registry metrics; other
-			// receivers share method names (e.g. a config field "Counter").
-			if !strings.HasPrefix(name, "lion") {
-				return true
-			}
-			if _, seen := metrics[name]; !seen {
-				metrics[name] = fmt.Sprintf("%s:%d", path, fset.Position(lit.Pos()).Line)
-			}
-			return true
-		})
+		lintFile(fset, path, file, rep)
 		return nil
 	})
-	return metrics, err
+	return rep, err
+}
+
+// lintFile inspects one parsed file for registrations and .With call sites.
+func lintFile(fset *token.FileSet, path string, file *ast.File, rep *report) {
+	// Lines blessed by a `metriclint:bounded <reason>` marker: the marker
+	// covers its own line and the line below, so it works both inline and
+	// as a lead-in comment.
+	bounded := make(map[int]bool)
+	for _, grp := range file.Comments {
+		for _, c := range grp.List {
+			text := strings.TrimLeft(strings.TrimPrefix(c.Text, "//"), " \t")
+			rest, ok := strings.CutPrefix(text, "metriclint:bounded")
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.End()).Line
+			if strings.TrimSpace(rest) == "" {
+				rep.issues = append(rep.issues, fmt.Sprintf(
+					"%s:%d: metriclint:bounded marker needs a reason", path, line))
+				continue
+			}
+			bounded[line] = true
+			bounded[line+1] = true
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		if sel.Sel.Name == "With" && len(call.Args) == 1 {
+			if _, lit := stringLit(call.Args[0]); !lit && !bounded[pos.Line] {
+				rep.issues = append(rep.issues, fmt.Sprintf(
+					"%s:%d: dynamic label value in .With() without a "+
+						"`// metriclint:bounded <reason>` marker", path, pos.Line))
+			}
+			return true
+		}
+		labelArg, registers := registerFuncs[sel.Sel.Name]
+		if !registers {
+			return true
+		}
+		name, ok := stringLit(call.Args[0])
+		// Only lion-prefixed literals are registry metrics; other receivers
+		// share method names (e.g. a config field "Counter").
+		if !ok || !strings.HasPrefix(name, "lion") {
+			return true
+		}
+		if _, seen := rep.metrics[name]; !seen {
+			rep.metrics[name] = fmt.Sprintf("%s:%d", path, pos.Line)
+		}
+		if labelArg >= 0 && labelArg < len(call.Args) {
+			if label, ok := stringLit(call.Args[labelArg]); ok && !labelRE.MatchString(label) {
+				rep.issues = append(rep.issues, fmt.Sprintf(
+					"%s:%d: metric %q label %q does not match %s",
+					path, pos.Line, name, label, labelRE))
+			}
+		}
+		return true
+	})
+}
+
+// stringLit unwraps a string-literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
 }
