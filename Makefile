@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz serve-smoke metriclint
+## BENCH_BASELINE: the committed lionbench snapshot bench-guard compares
+## against. Bump when a PR lands a new snapshot.
+BENCH_BASELINE ?= BENCH_6.json
 
-## check: the CI gate — formatting, vet, build, metric-name linting, and the
+.PHONY: check fmt vet build test race bench bench-guard fuzz serve-smoke metriclint
+
+## check: the CI gate — formatting, vet, build, metric-name linting, the
 ## full suite under the race detector (includes the 1k-job batch stress test,
 ## the stream concurrent-publisher stress test, and the serial/parallel
-## equivalence tests).
-check: fmt vet build metriclint race
+## equivalence tests), and the benchmark regression guard.
+check: fmt vet build metriclint race bench-guard
 
 ## metriclint: every registered metric name matches lion_[a-z_]+ and is
 ## documented in DESIGN.md section 9.
@@ -32,6 +36,14 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+## bench-guard: re-measure the lionbench micro-suite and fail on a >10%
+## regression of the guarded hot paths (ns/op for the latency-critical
+## benchmarks, allocs/op for all — a zero-alloc baseline fails on the first
+## allocation) against the committed $(BENCH_BASELINE).
+bench-guard:
+	$(GO) run ./cmd/lionbench -json /tmp/lion-bench-current.json
+	$(GO) run ./tools/benchguard -baseline $(BENCH_BASELINE) -current /tmp/lion-bench-current.json
 
 ## serve-smoke: end-to-end liond check — start the daemon on a random port,
 ## push a replayed NDJSON trace over HTTP, assert a 200 estimate, and verify

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 	"github.com/rfid-lion/lion/internal/health"
 	"github.com/rfid-lion/lion/internal/rf"
 	"github.com/rfid-lion/lion/internal/stats"
+	"github.com/rfid-lion/lion/internal/stream"
 )
 
 // benchResult is one benchmark's measurements in the JSON snapshot.
@@ -54,6 +56,22 @@ func benchObs(lambda float64) []core.PosPhase {
 	return obs
 }
 
+// benchStream extends benchObs to a longer march for the sliding-window
+// benchmarks: n reads from x = −1.2 m to +1.2 m at the same height and noise.
+// PhaseOfDistance is already unwrapped, so consecutive windows of the slice
+// are phase-coherent and the incremental session can slide.
+func benchStream(lambda float64, n int) []core.PosPhase {
+	ant := geom.V3(0, 0.9, 0.4)
+	rng := stats.NewRNG(13)
+	obs := make([]core.PosPhase, n)
+	for i := range obs {
+		pos := geom.V3(-1.2+2.4*float64(i)/float64(n-1), 0, 0.4)
+		theta := rf.PhaseOfDistance(ant.Dist(pos), lambda) + rng.Normal(0, 0.02)
+		obs[i] = core.PosPhase{Pos: pos, Theta: theta}
+	}
+	return obs
+}
+
 // benchSuite enumerates the tracked micro-benchmarks. Names are stable
 // identifiers: comparisons across snapshots key on them.
 func benchSuite() []struct {
@@ -84,6 +102,111 @@ func benchSuite() []struct {
 				if _, err := core.Locate2DLine(obs, lambda, 0.2, true, opts); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}},
+		{"solve_system_ws", func(b *testing.B) {
+			// The workspace solve over the same reduced line system that
+			// locate_2d_line assembles per call: steady-state re-solves of a
+			// fixed-shape system must be allocation-free.
+			prof, err := core.NewProfile(obs, lambda)
+			if err != nil {
+				b.Fatal(err)
+			}
+			positions := make([]geom.Vec3, len(obs))
+			for i, o := range obs {
+				positions[i] = o.Pos
+			}
+			pairs := core.SeparationPairs(positions, 0.2)
+			sys, err := core.BuildSystem(prof, pairs, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ws core.SolveWorkspace
+			var sol core.Solution
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := core.SolveSystemInto(&ws, sys, opts, &sol); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"stream_resolve_incremental", func(b *testing.B) {
+			// One slid window per op through a warm core.LineSession: the
+			// per-re-solve cost of the incremental linear path (rank-1
+			// update/downdate plus the 2×2 normal solve), with the periodic
+			// rebuild amortised in. Unweighted on purpose — IRLS refinement
+			// re-solves the full weighted system every iteration, which is
+			// inherently O(window) and measured by stream_engine_resolve.
+			// Target: <10 µs, 0 allocs.
+			strm := benchStream(lambda, 960)
+			const window = 120
+			sess, err := core.NewLineSession(lambda, []float64{0.05, 0.12}, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			unweighted := core.SolveOptions{}
+			var sol core.Solution
+			lo := 0
+			step := func() {
+				if lo+window > len(strm) {
+					lo = 0 // disjoint restart: exercises the rebuild path too
+				}
+				if err := sess.Locate(strm[lo:lo+window], unweighted, &sol); err != nil {
+					b.Fatal(err)
+				}
+				lo++
+			}
+			for i := 0; i < 400; i++ {
+				step() // warm: size every buffer, cross a rebuild
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+		}},
+		{"stream_engine_resolve", func(b *testing.B) {
+			// The full engine path per accepted sample: Ingest, snapshot
+			// dispatch, unwrap, incremental locate, publication, Flush. The
+			// tag ping-pongs along the track so the stream never has a
+			// position seam regardless of b.N.
+			factory, err := stream.IncrementalLine2DFactory(lambda, []float64{0.05, 0.12}, true, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := stream.New(stream.Config{
+				WindowSize: 120, MinSamples: 16, SolveEvery: 1, Workers: 1,
+				SolverFactory: factory,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close(context.Background())
+			ant := geom.V3(0, 0.9, 0.4)
+			ctx := context.Background()
+			n := 0
+			step := func() {
+				const half = 960 // samples per one-way pass
+				k := n % (2 * half)
+				if k > half {
+					k = 2*half - k
+				}
+				pos := geom.V3(-1.2+2.4*float64(k)/half, 0, 0.4)
+				phase := rf.WrapPhase(rf.PhaseOfDistance(ant.Dist(pos), lambda))
+				s := stream.Sample{Time: time.Duration(n) * time.Millisecond, Pos: pos, Phase: phase}
+				if err := e.Ingest("T1", s); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.Flush(ctx); err != nil {
+					b.Fatal(err)
+				}
+				n++
+			}
+			for n < 400 {
+				step()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
 			}
 		}},
 		{"phase_offset_calibration", func(b *testing.B) {

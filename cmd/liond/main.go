@@ -83,6 +83,9 @@ func parseFlags(args []string) (*config, error) {
 		lambda = fs.Float64("lambda", 0, "carrier wavelength, m (0 = paper's 920.625 MHz band)")
 		solver = fs.String("solver", "line",
 			"window solver: line (2-D lower-dimension), 2d, 3d")
+		incremental = fs.Bool("incremental", false,
+			"line solver only: per-tag incremental sliding-window sessions "+
+				"(zero-alloc steady-state re-solves; implies -smooth 0)")
 		intervals = fs.String("intervals", "0.2",
 			"comma-separated pairing intervals for the line solver, m")
 		stride = fs.Int("stride", 0,
@@ -135,9 +138,40 @@ func parseFlags(args []string) (*config, error) {
 		}
 		ivs = append(ivs, v)
 	}
-	sv, err := buildSolver(*solver, lam, ivs, *stride, *side)
-	if err != nil {
-		return nil, err
+	var (
+		sv      stream.Solver
+		factory func() stream.SessionSolver
+	)
+	smoothW := *smooth
+	if *incremental {
+		if *solver != "line" {
+			return nil, fmt.Errorf("-incremental requires -solver line, got %q", *solver)
+		}
+		if len(ivs) == 0 {
+			return nil, errors.New("line solver needs at least one interval")
+		}
+		smoothSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "smooth" {
+				smoothSet = true
+			}
+		})
+		if smoothSet && *smooth > 1 {
+			return nil, errors.New("-incremental is incompatible with -smooth: " +
+				"centred smoothing rewrites the window overlap and defeats slide detection")
+		}
+		smoothW = 0
+		var err error
+		factory, err = stream.IncrementalLine2DFactory(lam, ivs, *side, core.DefaultSolveOptions())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		sv, err = buildSolver(*solver, lam, ivs, *stride, *side)
+		if err != nil {
+			return nil, err
+		}
 	}
 	policy := stream.EvictOldest
 	if *reject {
@@ -170,17 +204,18 @@ func parseFlags(args []string) (*config, error) {
 		monitor: *monitor,
 		health:  hcfg,
 		cfg: stream.Config{
-			WindowSize:  *window,
-			WindowSpan:  *span,
-			MinSamples:  *minS,
-			SolveEvery:  *every,
-			Smooth:      *smooth,
-			Policy:      policy,
-			Workers:     *workers,
-			JobTimeout:  *timeout,
-			Solver:      sv,
-			TraceSolves: *trace,
-			Antenna:     *antenna,
+			WindowSize:    *window,
+			WindowSpan:    *span,
+			MinSamples:    *minS,
+			SolveEvery:    *every,
+			Smooth:        smoothW,
+			Policy:        policy,
+			Workers:       *workers,
+			JobTimeout:    *timeout,
+			Solver:        sv,
+			SolverFactory: factory,
+			TraceSolves:   *trace,
+			Antenna:       *antenna,
 		},
 	}, nil
 }

@@ -223,6 +223,38 @@ func TestParseFlagsRejectsBadSolver(t *testing.T) {
 	}
 }
 
+func TestParseFlagsIncremental(t *testing.T) {
+	cfg, err := parseFlags([]string{"-incremental"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.cfg.SolverFactory == nil || cfg.cfg.Solver != nil {
+		t.Error("-incremental did not select the session-solver factory")
+	}
+	if cfg.cfg.Smooth != 0 {
+		t.Errorf("-incremental left Smooth = %d, want 0", cfg.cfg.Smooth)
+	}
+	// The resulting config must pass engine validation as-is.
+	e, err := stream.New(cfg.cfg)
+	if err != nil {
+		t.Fatalf("engine rejects -incremental config: %v", err)
+	}
+	e.Close(context.Background())
+
+	if _, err := parseFlags([]string{"-incremental", "-solver", "2d"}); err == nil {
+		t.Error("-incremental with -solver 2d accepted")
+	}
+	if _, err := parseFlags([]string{"-incremental", "-smooth", "9"}); err == nil {
+		t.Error("-incremental with explicit -smooth accepted")
+	}
+	if _, err := parseFlags([]string{"-incremental", "-intervals", ""}); err == nil {
+		t.Error("-incremental with no intervals accepted")
+	}
+	if cfg, err := parseFlags([]string{"-incremental", "-smooth", "0"}); err != nil || cfg.cfg.Smooth != 0 {
+		t.Errorf("-incremental with explicit -smooth 0 rejected: %v", err)
+	}
+}
+
 func get(t *testing.T, url string) (int, string) {
 	t.Helper()
 	resp, err := http.Get(url)

@@ -28,7 +28,8 @@ type Pool struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []poolTask
+	queue  []poolTask // ring-ish FIFO: live tasks are queue[head:]
+	head   int        // index of the next task to dequeue
 	closed bool
 	next   int
 	wg     sync.WaitGroup
@@ -87,7 +88,7 @@ func (p *Pool) Submit(job Job, done func(Outcome)) error {
 func (p *Pool) Len() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.queue)
+	return len(p.queue) - p.head
 }
 
 // Close stops accepting submissions, drains every queued job, and waits for
@@ -104,15 +105,32 @@ func (p *Pool) worker() {
 	defer p.wg.Done()
 	for {
 		p.mu.Lock()
-		for len(p.queue) == 0 && !p.closed {
+		for p.head == len(p.queue) && !p.closed {
 			p.cond.Wait()
 		}
-		if len(p.queue) == 0 {
+		if p.head == len(p.queue) {
 			p.mu.Unlock()
 			return
 		}
-		t := p.queue[0]
-		p.queue = p.queue[1:]
+		t := p.queue[p.head]
+		p.queue[p.head] = poolTask{} // release the job/done references
+		p.head++
+		if p.head == len(p.queue) {
+			// Drained: rewind so appends keep reusing the same backing array.
+			// This is what keeps a steady-state Submit allocation-free — the
+			// previous queue[1:] reslice leaked front capacity on every
+			// dequeue and forced append to reallocate perpetually.
+			p.queue = p.queue[:0]
+			p.head = 0
+		} else if p.head >= 64 && p.head*2 >= len(p.queue) {
+			// Deep queue with a mostly-consumed prefix: compact in place.
+			n := copy(p.queue, p.queue[p.head:])
+			for i := n; i < len(p.queue); i++ {
+				p.queue[i] = poolTask{}
+			}
+			p.queue = p.queue[:n]
+			p.head = 0
+		}
 		p.mu.Unlock()
 		o := p.runner.runOne(context.Background(), t.index, t.job)
 		switch {

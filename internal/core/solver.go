@@ -1,12 +1,10 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
 	"github.com/rfid-lion/lion/internal/geom"
-	"github.com/rfid-lion/lion/internal/mat"
 	"github.com/rfid-lion/lion/internal/obs"
 	"github.com/rfid-lion/lion/internal/stats"
 )
@@ -121,159 +119,16 @@ func (s *Solution) FullyKnown() bool {
 // Coordinate columns that are (numerically) zero — the lower-dimension case
 // of Sec. III-C — are dropped from the solve; the corresponding coordinates
 // are reported as unknown and can be recovered with RecoverMissing.
+//
+// SolveSystem allocates a fresh workspace per call; hot paths that solve in
+// a loop should hold a SolveWorkspace and call SolveSystemInto, which is the
+// same code with zero steady-state allocations.
 func SolveSystem(sys *System, opts SolveOptions) (*Solution, error) {
-	defer opts.Trace.Span(opts.traceSpan())()
-	numRefs := sys.NumRefs
-	if numRefs <= 0 {
-		numRefs = 1
+	var ws SolveWorkspace
+	sol := &Solution{}
+	if err := SolveSystemInto(&ws, sys, opts, sol); err != nil {
+		return nil, err
 	}
-	nCols := sys.Dim + numRefs
-	if sys.A.Cols() != nCols {
-		return nil, fmt.Errorf("core: system has %d columns, want %d: %w",
-			sys.A.Cols(), nCols, mat.ErrShape)
-	}
-	rows := sys.A.Rows()
-
-	// Detect zero coordinate columns relative to the matrix scale.
-	scale := sys.A.MaxAbs()
-	if scale == 0 {
-		return nil, ErrDegenerateGeometry
-	}
-	tol := 1e-9 * scale
-	keep := make([]int, 0, nCols)
-	known := [3]bool{}
-	for c := 0; c < sys.Dim; c++ {
-		colMax := 0.0
-		for r := 0; r < rows; r++ {
-			if v := math.Abs(sys.A.At(r, c)); v > colMax {
-				colMax = v
-			}
-		}
-		if colMax > tol {
-			keep = append(keep, c)
-			known[c] = true
-		}
-	}
-	if len(keep) == 0 {
-		return nil, ErrDegenerateGeometry
-	}
-	for r := 0; r < numRefs; r++ {
-		keep = append(keep, sys.Dim+r) // reference-distance columns always kept
-	}
-
-	a := sys.A
-	if len(keep) != nCols {
-		a = mat.NewDense(rows, len(keep))
-		for r := 0; r < rows; r++ {
-			for ci, c := range keep {
-				a.Set(r, ci, sys.A.At(r, c))
-			}
-		}
-	}
-
-	if rows < len(keep) {
-		return nil, ErrTooFewObservations
-	}
-
-	x, err := mat.LeastSquares(a, sys.K)
-	if err != nil {
-		if errors.Is(err, mat.ErrSingular) {
-			return nil, fmt.Errorf("%w: %v", ErrDegenerateGeometry, err)
-		}
-		return nil, fmt.Errorf("least squares: %w", err)
-	}
-
-	// One condition estimate per solve, on the unweighted reduced system —
-	// cheap next to the IRWLS loop and enough to flag near-degenerate
-	// geometry in both the Solution and every iteration's trace event.
-	condEst := mat.ConditionEst(a)
-
-	weights := make([]float64, rows)
-	for i := range weights {
-		weights[i] = 1
-	}
-	iterations := 0
-
-	if opts.Weighted {
-		for iterations < opts.maxIter() {
-			res, rerr := mat.Residuals(a, x, sys.K)
-			if rerr != nil {
-				return nil, fmt.Errorf("residuals: %w", rerr)
-			}
-			mu, sigma := stats.MeanStd(res)
-			if sigma == 0 {
-				break // exact fit: all weights stay 1
-			}
-			floorHits := 0
-			for i, r := range res {
-				d := (r - mu) / sigma
-				weights[i] = math.Exp(-d * d / 2) // Eq. 15
-				if weights[i] < WeightFloor {
-					floorHits++
-				}
-			}
-			xNew, werr := mat.WeightedLeastSquares(a, sys.K, weights)
-			if werr != nil {
-				if errors.Is(werr, mat.ErrSingular) {
-					return nil, fmt.Errorf("%w: %v", ErrDegenerateGeometry, werr)
-				}
-				return nil, fmt.Errorf("weighted least squares: %w", werr)
-			}
-			iterations++
-			opts.Trace.IRLSIter(opts.traceSpan(), iterations, mat.Norm2(res), floorHits, condEst)
-			moved := 0.0
-			for i := range x {
-				if d := math.Abs(xNew[i] - x[i]); d > moved {
-					moved = d
-				}
-			}
-			x = xNew
-			if moved < opts.tol() {
-				break
-			}
-		}
-	}
-
-	res, err := mat.Residuals(a, x, sys.K)
-	if err != nil {
-		return nil, fmt.Errorf("residuals: %w", err)
-	}
-
-	sol := &Solution{
-		Known:             known,
-		Dim:               sys.Dim,
-		Residuals:         res,
-		Weights:           weights,
-		Iterations:        iterations,
-		FinalResidual:     mat.Norm2(res),
-		ConditionEstimate: condEst,
-	}
-	// Scatter the reduced solution back onto (x, y, z, d_r...).
-	coords := [3]float64{math.NaN(), math.NaN(), math.NaN()}
-	sol.RefDistances = make([]float64, numRefs)
-	for xi, c := range keep {
-		if c >= sys.Dim {
-			sol.RefDistances[c-sys.Dim] = x[xi]
-		} else {
-			coords[c] = x[xi]
-		}
-	}
-	sol.RefDistance = sol.RefDistances[0]
-	if sys.Dim == 2 {
-		coords[2] = 0
-	}
-	sol.Position = geom.Vec3{X: coords[0], Y: coords[1], Z: coords[2]}
-
-	var wSum, wrSum float64
-	for i, r := range res {
-		wSum += weights[i]
-		wrSum += weights[i] * r
-	}
-	if wSum > 0 {
-		sol.MeanResidual = wrSum / wSum
-	}
-	sol.MeanAbsResidual = stats.MeanAbs(res)
-	sol.RMSResidual = stats.RMS(res)
 	return sol, nil
 }
 

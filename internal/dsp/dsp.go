@@ -21,14 +21,28 @@ var (
 // adds or subtracts multiples of 2π until the jump falls below π
 // (Sec. IV-A-1). The input is not modified.
 func Unwrap(wrapped []float64) []float64 {
-	out := make([]float64, len(wrapped))
-	if len(wrapped) == 0 {
-		return out
+	return UnwrapInto(make([]float64, len(wrapped)), wrapped)
+}
+
+// UnwrapInto is Unwrap writing into dst, which is grown as needed and
+// returned resliced to len(wrapped). dst may alias wrapped (in-place
+// unwrapping), and the arithmetic is identical to Unwrap's, so streamed
+// callers reusing a buffer get bit-identical profiles with zero allocations
+// in steady state.
+func UnwrapInto(dst, wrapped []float64) []float64 {
+	if cap(dst) < len(wrapped) {
+		dst = make([]float64, len(wrapped))
 	}
-	out[0] = wrapped[0]
+	dst = dst[:len(wrapped)]
+	if len(wrapped) == 0 {
+		return dst
+	}
+	prev := wrapped[0]
+	dst[0] = prev
 	offset := 0.0
 	for i := 1; i < len(wrapped); i++ {
-		d := wrapped[i] - wrapped[i-1]
+		cur := wrapped[i]
+		d := cur - prev
 		for d >= math.Pi {
 			offset -= 2 * math.Pi
 			d -= 2 * math.Pi
@@ -37,9 +51,10 @@ func Unwrap(wrapped []float64) []float64 {
 			offset += 2 * math.Pi
 			d += 2 * math.Pi
 		}
-		out[i] = wrapped[i] + offset
+		dst[i] = cur + offset
+		prev = cur
 	}
-	return out
+	return dst
 }
 
 // Wrap maps every element of xs onto [0, 2π). The input is not modified.
@@ -64,10 +79,20 @@ func Wrap(xs []float64) []float64 {
 // odd window length (Sec. IV-A-2). Windows are truncated at the boundaries
 // so the output has the same length as the input. The input is not modified.
 func MovingAverage(xs []float64, window int) ([]float64, error) {
+	return MovingAverageInto(make([]float64, len(xs)), xs, window)
+}
+
+// MovingAverageInto is MovingAverage writing into dst, which is grown as
+// needed and returned resliced to len(xs). dst must not alias xs: the filter
+// reads neighbours on both sides of each output index.
+func MovingAverageInto(dst, xs []float64, window int) ([]float64, error) {
 	if window <= 0 || window%2 == 0 {
 		return nil, ErrBadWindow
 	}
-	out := make([]float64, len(xs))
+	if cap(dst) < len(xs) {
+		dst = make([]float64, len(xs))
+	}
+	out := dst[:len(xs)]
 	half := window / 2
 	for i := range xs {
 		lo := i - half

@@ -302,3 +302,74 @@ func TestDiff(t *testing.T) {
 		t.Errorf("Diff(single) = %v", got)
 	}
 }
+
+// TestUnwrapIntoMatchesUnwrap: the Into variant is bit-identical to Unwrap,
+// reuses a caller buffer without reallocating, supports in-place aliasing,
+// and grows a too-small destination.
+func TestUnwrapIntoMatchesUnwrap(t *testing.T) {
+	wrapped := make([]float64, 200)
+	for i := range wrapped {
+		wrapped[i] = rf.WrapPhase(0.37 * float64(i))
+	}
+	want := Unwrap(wrapped)
+
+	buf := make([]float64, len(wrapped))
+	got := UnwrapInto(buf, wrapped)
+	if &got[0] != &buf[0] {
+		t.Error("UnwrapInto reallocated despite sufficient capacity")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("UnwrapInto[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// In-place: dst aliases the input.
+	inPlace := append([]float64(nil), wrapped...)
+	got = UnwrapInto(inPlace, inPlace)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("in-place UnwrapInto[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// Growth: nil dst is legal and the result is still correct.
+	got = UnwrapInto(nil, wrapped)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grown UnwrapInto[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if out := UnwrapInto(nil, nil); len(out) != 0 {
+		t.Errorf("UnwrapInto(nil, nil) = %v, want empty", out)
+	}
+}
+
+// TestMovingAverageIntoMatchesMovingAverage mirrors the Unwrap test for the
+// smoothing filter (no aliasing allowed — the filter reads neighbours).
+func TestMovingAverageIntoMatchesMovingAverage(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = math.Sin(0.1 * float64(i))
+	}
+	want, err := MovingAverage(xs, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, len(xs))
+	got, err := MovingAverageInto(buf, xs, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[0] {
+		t.Error("MovingAverageInto reallocated despite sufficient capacity")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MovingAverageInto[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := MovingAverageInto(buf, xs, 4); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("even window error = %v, want ErrBadWindow", err)
+	}
+}

@@ -21,18 +21,5 @@ func ConditionEst(a *Dense) float64 {
 	if err != nil {
 		return math.Inf(1)
 	}
-	lo, hi := math.Inf(1), 0.0
-	for i := 0; i < l.Rows(); i++ {
-		d := math.Abs(l.At(i, i))
-		if d < lo {
-			lo = d
-		}
-		if d > hi {
-			hi = d
-		}
-	}
-	if lo == 0 {
-		return math.Inf(1)
-	}
-	return hi / lo
+	return cholDiagRatio(l)
 }

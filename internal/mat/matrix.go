@@ -21,6 +21,13 @@ var (
 )
 
 // Dense is a row-major dense matrix of float64 values.
+//
+// Ownership rules: every method that returns a slice (Row, Col) or a matrix
+// (Clone, T, Add, Sub, ScaleBy, Mul, Gram, ...) returns freshly allocated
+// storage that never aliases the receiver's internal buffer — callers may
+// mutate results freely. The zero-allocation variants live on Workspace and
+// NormalEq, whose returned slices DO alias internal scratch; see their doc
+// comments for the validity window.
 type Dense struct {
 	rows, cols int
 	data       []float64
@@ -106,6 +113,29 @@ func (m *Dense) Clone() *Dense {
 	return c
 }
 
+// Reshape resizes m in place to rows×cols, reusing the backing array when it
+// has capacity and allocating a larger one otherwise. All entries are reset
+// to zero. The zero value of Dense reshapes into a valid matrix, which is
+// what lets Workspace scratch matrices grow on demand and then stay
+// allocation-free in steady state. It panics on non-positive dimensions,
+// like NewDense.
+func (m *Dense) Reshape(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.data) < n {
+		m.data = make([]float64, n)
+	} else {
+		m.data = m.data[:n]
+		for i := range m.data {
+			m.data[i] = 0
+		}
+	}
+	m.rows, m.cols = rows, cols
+	return m
+}
+
 // T returns the transpose of m as a new matrix.
 func (m *Dense) T() *Dense {
 	t := NewDense(m.cols, m.rows)
@@ -178,6 +208,12 @@ func (m *Dense) MulVec(v []float64) ([]float64, error) {
 		return nil, ErrShape
 	}
 	out := make([]float64, m.rows)
+	m.mulVecInto(out, v)
+	return out, nil
+}
+
+// mulVecInto computes m·v into out (len m.rows, fully overwritten).
+func (m *Dense) mulVecInto(out, v []float64) {
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64
@@ -186,13 +222,21 @@ func (m *Dense) MulVec(v []float64) ([]float64, error) {
 		}
 		out[i] = s
 	}
-	return out, nil
 }
 
 // Gram returns the Gram matrix mᵀ·m (cols×cols), computed directly without
 // materialising the transpose.
 func (m *Dense) Gram() *Dense {
 	out := NewDense(m.cols, m.cols)
+	m.gramInto(out)
+	return out
+}
+
+// gramInto accumulates mᵀ·m into out, which must be cols×cols and zeroed.
+// The row-by-row accumulation order is the contract shared with
+// NormalEq.AddRow so that a freshly accumulated Gram matrix is bit-identical
+// to an incrementally built one over the same row sequence.
+func (m *Dense) gramInto(out *Dense) {
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		for a, ra := range row {
@@ -205,7 +249,6 @@ func (m *Dense) Gram() *Dense {
 			}
 		}
 	}
-	return out
 }
 
 // WeightedGram returns mᵀ·diag(w)·m. The weight slice must have one entry
@@ -215,6 +258,12 @@ func (m *Dense) WeightedGram(w []float64) (*Dense, error) {
 		return nil, ErrShape
 	}
 	out := NewDense(m.cols, m.cols)
+	m.weightedGramInto(out, w)
+	return out, nil
+}
+
+// weightedGramInto accumulates mᵀ·diag(w)·m into out (cols×cols, zeroed).
+func (m *Dense) weightedGramInto(out *Dense, w []float64) {
 	for i := 0; i < m.rows; i++ {
 		wi := w[i]
 		if wi == 0 {
@@ -232,7 +281,6 @@ func (m *Dense) WeightedGram(w []float64) (*Dense, error) {
 			}
 		}
 	}
-	return out, nil
 }
 
 // TMulVec returns mᵀ·v without materialising the transpose.
@@ -241,6 +289,12 @@ func (m *Dense) TMulVec(v []float64) ([]float64, error) {
 		return nil, ErrShape
 	}
 	out := make([]float64, m.cols)
+	m.tMulVecInto(out, v)
+	return out, nil
+}
+
+// tMulVecInto accumulates mᵀ·v into out (len m.cols, zeroed by the caller).
+func (m *Dense) tMulVecInto(out, v []float64) {
 	for i := 0; i < m.rows; i++ {
 		vi := v[i]
 		if vi == 0 {
@@ -251,7 +305,6 @@ func (m *Dense) TMulVec(v []float64) ([]float64, error) {
 			out[j] += r * vi
 		}
 	}
-	return out, nil
 }
 
 // WeightedTMulVec returns mᵀ·diag(w)·v.
@@ -260,6 +313,13 @@ func (m *Dense) WeightedTMulVec(w, v []float64) ([]float64, error) {
 		return nil, ErrShape
 	}
 	out := make([]float64, m.cols)
+	m.weightedTMulVecInto(out, w, v)
+	return out, nil
+}
+
+// weightedTMulVecInto accumulates mᵀ·diag(w)·v into out (len m.cols, zeroed
+// by the caller).
+func (m *Dense) weightedTMulVecInto(out, w, v []float64) {
 	for i := 0; i < m.rows; i++ {
 		wv := w[i] * v[i]
 		if wv == 0 {
@@ -270,7 +330,6 @@ func (m *Dense) WeightedTMulVec(w, v []float64) ([]float64, error) {
 			out[j] += r * wv
 		}
 	}
-	return out, nil
 }
 
 // MaxAbs returns the largest absolute entry of m.

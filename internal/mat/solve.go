@@ -81,13 +81,26 @@ func Cholesky(a *Dense) (*Dense, error) {
 		return nil, ErrShape
 	}
 	l := NewDense(n, n)
+	if err := choleskyInto(l, a); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// choleskyInto factors A = L·Lᵀ into l, which must be n×n and zeroed (the
+// strict upper triangle is left untouched). The column-by-column elimination
+// order here is the reference order: Workspace and NormalEq both route
+// through this kernel so scratch-reusing solves stay bit-identical to the
+// allocating path.
+func choleskyInto(l, a *Dense) error {
+	n := a.Rows()
 	for j := 0; j < n; j++ {
 		var d float64 = a.At(j, j)
 		for k := 0; k < j; k++ {
 			d -= l.At(j, k) * l.At(j, k)
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotSPD
+			return ErrNotSPD
 		}
 		ljj := math.Sqrt(d)
 		l.Set(j, j, ljj)
@@ -99,7 +112,7 @@ func Cholesky(a *Dense) (*Dense, error) {
 			l.Set(i, j, s/ljj)
 		}
 	}
-	return l, nil
+	return nil
 }
 
 // SolveCholesky solves A·x = b for SPD A via the Cholesky factorization.
@@ -116,8 +129,18 @@ func solveCholeskyFactor(l *Dense, b []float64) ([]float64, error) {
 	if len(b) != n {
 		return nil, ErrShape
 	}
-	// Forward substitution: L·y = b.
+	x := make([]float64, n)
 	y := make([]float64, n)
+	choleskySolveFactorInto(x, y, l, b)
+	return x, nil
+}
+
+// choleskySolveFactorInto solves L·Lᵀ·x = b given the factor l, writing the
+// solution into x and using y (same length) as forward-substitution scratch.
+// x and b may not alias; y may alias neither.
+func choleskySolveFactorInto(x, y []float64, l *Dense, b []float64) {
+	n := l.Rows()
+	// Forward substitution: L·y = b.
 	for i := 0; i < n; i++ {
 		s := b[i]
 		for k := 0; k < i; k++ {
@@ -126,7 +149,6 @@ func solveCholeskyFactor(l *Dense, b []float64) ([]float64, error) {
 		y[i] = s / l.At(i, i)
 	}
 	// Back substitution: Lᵀ·x = y.
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
 		for k := i + 1; k < n; k++ {
@@ -134,7 +156,6 @@ func solveCholeskyFactor(l *Dense, b []float64) ([]float64, error) {
 		}
 		x[i] = s / l.At(i, i)
 	}
-	return x, nil
 }
 
 // Inverse returns A⁻¹ computed column-by-column via SolveLU. Intended for

@@ -1,0 +1,224 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestWorkspaceMatchesAllocatingPath asserts the workspace solvers are
+// bit-identical to the package-level functions — same kernels, same
+// accumulation order — across random tall systems and weights.
+func TestWorkspaceMatchesAllocatingPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var ws Workspace
+	for trial := 0; trial < 50; trial++ {
+		rows := 4 + rng.Intn(30)
+		cols := 2 + rng.Intn(3)
+		a := randomTallMatrix(rng, rows, cols)
+		b := make([]float64, rows)
+		w := make([]float64, rows)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+			w[i] = rng.Float64() + 1e-3
+		}
+
+		want, err := LeastSquares(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: LeastSquares: %v", trial, err)
+		}
+		got, err := ws.LeastSquares(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: ws.LeastSquares: %v", trial, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: LeastSquares[%d] = %v, want %v (must be bit-identical)",
+					trial, i, got[i], want[i])
+			}
+		}
+
+		wantR, err := Residuals(a, want, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// got aliases ws scratch that ws.Residuals does not touch; using it
+		// as x here is the IRLS pattern the doc comment promises works.
+		gotR, err := ws.Residuals(a, got, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantR {
+			if gotR[i] != wantR[i] {
+				t.Fatalf("trial %d: Residuals[%d] = %v, want %v", trial, i, gotR[i], wantR[i])
+			}
+		}
+
+		wantW, err := WeightedLeastSquares(a, b, w)
+		if err != nil {
+			t.Fatalf("trial %d: WeightedLeastSquares: %v", trial, err)
+		}
+		gotW, err := ws.WeightedLeastSquares(a, b, w)
+		if err != nil {
+			t.Fatalf("trial %d: ws.WeightedLeastSquares: %v", trial, err)
+		}
+		for i := range wantW {
+			if gotW[i] != wantW[i] {
+				t.Fatalf("trial %d: WeightedLeastSquares[%d] = %v, want %v",
+					trial, i, gotW[i], wantW[i])
+			}
+		}
+
+		if gotC, wantC := ws.ConditionEst(a), ConditionEst(a); gotC != wantC {
+			t.Fatalf("trial %d: ConditionEst = %v, want %v", trial, gotC, wantC)
+		}
+	}
+}
+
+// TestWorkspaceQRFallback drives the rank-deficient path: the Gram matrix of
+// a matrix with duplicate columns is not SPD, so both the allocating and the
+// workspace solvers must agree via the QR fallback (or agree on the error).
+func TestWorkspaceQRFallback(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}})
+	b := []float64{1, 2, 3, 4}
+	var ws Workspace
+
+	want, wantErr := LeastSquares(a, b)
+	got, gotErr := ws.LeastSquares(a, b)
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("fallback error mismatch: allocating %v, workspace %v", wantErr, gotErr)
+	}
+	if wantErr == nil && !vecAlmostEq(got, want, 0) {
+		t.Fatalf("fallback solution = %v, want %v", got, want)
+	}
+
+	w := []float64{1, 2, 1, 2}
+	wantW, wantErr := WeightedLeastSquares(a, b, w)
+	gotW, gotErr := ws.WeightedLeastSquares(a, b, w)
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("weighted fallback error mismatch: allocating %v, workspace %v", wantErr, gotErr)
+	}
+	if wantErr == nil && !vecAlmostEq(gotW, wantW, 0) {
+		t.Fatalf("weighted fallback solution = %v, want %v", gotW, wantW)
+	}
+
+	if c := ws.ConditionEst(a); !math.IsInf(c, 1) {
+		t.Fatalf("ConditionEst of rank-deficient system = %v, want +Inf", c)
+	}
+}
+
+// TestWorkspaceShapeErrors mirrors the allocating solvers' validation.
+func TestWorkspaceShapeErrors(t *testing.T) {
+	var ws Workspace
+	a := mustFromRows(t, [][]float64{{1, 0}, {0, 1}, {1, 1}})
+	if _, err := ws.LeastSquares(a, []float64{1, 2}); err == nil {
+		t.Error("LeastSquares with short b: want error")
+	}
+	if _, err := ws.LeastSquares(NewDense(2, 3), []float64{1, 2}); err == nil {
+		t.Error("underdetermined system: want error")
+	}
+	if _, err := ws.WeightedLeastSquares(a, []float64{1, 2, 3}, []float64{1, -1, 1}); err == nil {
+		t.Error("negative weight: want error")
+	}
+	if _, err := ws.WeightedLeastSquares(a, []float64{1, 2, 3}, []float64{1, 1}); err == nil {
+		t.Error("short weights: want error")
+	}
+	if _, err := ws.Residuals(a, []float64{1}, []float64{1, 2, 3}); err == nil {
+		t.Error("short x: want error")
+	}
+}
+
+// TestWorkspaceSteadyStateZeroAllocs enforces the zero-allocation contract:
+// after the first (warm-up) call sizes the scratch, repeated solves of
+// same-shaped systems must not touch the heap.
+func TestWorkspaceSteadyStateZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomTallMatrix(rng, 24, 3)
+	b := make([]float64, 24)
+	w := make([]float64, 24)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+		w[i] = 1
+	}
+	var ws Workspace
+	if _, err := ws.LeastSquares(a, b); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		x, err := ws.LeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ws.Residuals(a, x, b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ws.WeightedLeastSquares(a, b, w); err != nil {
+			t.Fatal(err)
+		}
+		ws.ConditionEst(a)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state workspace solve allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestWorkspaceScratchReuseAcrossShapes checks that a workspace survives
+// being used for systems of different shapes back to back.
+func TestWorkspaceScratchReuseAcrossShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var ws Workspace
+	for _, shape := range [][2]int{{8, 2}, {30, 4}, {5, 3}, {8, 2}} {
+		a := randomTallMatrix(rng, shape[0], shape[1])
+		b := make([]float64, shape[0])
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want, err := LeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ws.LeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vecAlmostEq(got, want, 0) {
+			t.Fatalf("shape %v: ws solve = %v, want %v", shape, got, want)
+		}
+	}
+}
+
+// TestDenseReshape covers the in-place resize used by all scratch matrices.
+func TestDenseReshape(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	data := m.data
+	m.Reshape(2, 2)
+	if &m.data[0] != &data[0] {
+		t.Error("same-size Reshape reallocated backing array")
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("Reshape left entry (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+	m.Reshape(1, 2)
+	if &m.data[0] != &data[0] {
+		t.Error("shrinking Reshape reallocated backing array")
+	}
+	m.Reshape(4, 4)
+	if m.Rows() != 4 || m.Cols() != 4 {
+		t.Fatalf("Reshape dims = %dx%d, want 4x4", m.Rows(), m.Cols())
+	}
+	var zero Dense
+	zero.Reshape(2, 3)
+	if zero.Rows() != 2 || zero.Cols() != 3 {
+		t.Error("zero-value Dense did not Reshape")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Reshape(0, 1) did not panic")
+		}
+	}()
+	m.Reshape(0, 1)
+}

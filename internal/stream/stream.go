@@ -48,6 +48,19 @@ type Sample struct {
 // core.SolveOptions so per-iteration solver events reach the trace.
 type Solver func(win []core.PosPhase, tr *obs.Tracer) (*core.Solution, error)
 
+// SessionSolver is the stateful per-tag counterpart of Solver: it receives
+// the raw sample window (preprocessing included in its contract) and may keep
+// state — incremental factorizations, scratch workspaces, a reusable Solution
+// — between calls. The engine guarantees a SessionSolver is never invoked
+// concurrently with itself (solves for one tag are serialized by the
+// coalescing dispatcher), so implementations need no internal locking.
+//
+// The returned Solution may alias solver-owned storage; the engine copies it
+// into per-tag publication storage before the next solve can start.
+type SessionSolver interface {
+	SolveWindow(samples []Sample, tr *obs.Tracer) (*core.Solution, error)
+}
+
 // DropPolicy selects what happens when a sample arrives at a full window.
 type DropPolicy int
 
@@ -86,8 +99,21 @@ type Config struct {
 	// SubBuffer is the per-subscriber channel depth; zero defaults to 64.
 	// Slow subscribers lose estimates (counted), they never block solves.
 	SubBuffer int
-	// Solver produces estimates from window snapshots. Required.
+	// Solver produces estimates from window snapshots. Required unless
+	// SolverFactory is set.
 	Solver Solver
+	// SolverFactory, when non-nil, supersedes Solver: every tag session gets
+	// its own SessionSolver instance from the factory, enabling stateful
+	// incremental solvers (see IncrementalLine2DFactory) whose steady-state
+	// re-solves run without heap allocations. Factory solvers own their
+	// preprocessing, so Smooth must be zero with a factory — centred
+	// smoothing rewrites the window-overlap samples on every slide, which
+	// would defeat incremental reuse; smooth inside the solver if needed.
+	//
+	// Estimates from factory-backed sessions share one Solution buffer per
+	// tag, valid until the tag's next estimate is published; subscribers
+	// that retain a Solution across estimates must copy it.
+	SolverFactory func() SessionSolver
 	// Registry receives the engine's lion_stream_* metrics. Nil means a
 	// private registry, still reachable through Engine.Registry().
 	Registry *obs.Registry
@@ -180,6 +206,7 @@ type Engine struct {
 	subs     map[int]chan Estimate
 	nextSub  int
 	closed   bool
+	snapFree []*snapshot // recycled window snapshots (guarded by mu)
 
 	reg             *obs.Registry
 	ingested        *obs.Counter
@@ -195,25 +222,38 @@ type Engine struct {
 }
 
 // session is the per-tag state: the ring-buffered window plus dispatch
-// book-keeping. All fields are guarded by the engine mutex.
+// book-keeping. All fields are guarded by the engine mutex, except solver,
+// which is written once at session creation and thereafter touched only by
+// the (serialized) solve jobs of this tag.
 type session struct {
-	tag   string
-	buf   []Sample
-	start int
-	n     int
-	since int // samples accepted since the last snapshot
+	tag    string
+	buf    []Sample
+	start  int
+	n      int
+	since  int // samples accepted since the last snapshot
+	solver SessionSolver
 
 	seq       uint64
 	inFlight  bool
 	pending   *snapshot
 	latest    *Estimate
+	latestBuf Estimate      // backing storage for latest (reused)
+	pubSol    core.Solution // published copy of a factory solver's Solution
 	lastTrace []obs.Event
 }
 
-// snapshot is one frozen window awaiting a solve.
+// snapshot is one frozen window awaiting a solve. Snapshots are pooled on the
+// engine free list: the sample buffer, the solve/done closures, and the
+// solved carrier are built once per object and reused across dispatches, so
+// a steady-state dispatch performs no heap allocations.
 type snapshot struct {
+	e       *Engine
+	sess    *session
 	tag     string
 	samples []Sample
+	sv      solved
+	run     func(context.Context) (any, error)
+	done    func(batch.Outcome)
 }
 
 // solved carries a finished solve through the pool's Outcome.Value.
@@ -229,8 +269,11 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.WindowSize <= 0 {
 		return nil, fmt.Errorf("%w: window size %d must be positive", ErrBadConfig, cfg.WindowSize)
 	}
-	if cfg.Solver == nil {
+	if cfg.Solver == nil && cfg.SolverFactory == nil {
 		return nil, fmt.Errorf("%w: a solver is required", ErrBadConfig)
+	}
+	if cfg.SolverFactory != nil && cfg.Smooth > 1 {
+		return nil, fmt.Errorf("%w: Smooth is incompatible with SolverFactory (session solvers own their preprocessing)", ErrBadConfig)
 	}
 	if cfg.Smooth > 1 && cfg.Smooth%2 == 0 {
 		return nil, fmt.Errorf("%w: smoothing window %d must be odd", ErrBadConfig, cfg.Smooth)
@@ -316,6 +359,9 @@ func (e *Engine) Ingest(tag string, s Sample) error {
 	sess := e.sessions[tag]
 	if sess == nil {
 		sess = &session{tag: tag, buf: make([]Sample, e.cfg.WindowSize)}
+		if e.cfg.SolverFactory != nil {
+			sess.solver = e.cfg.SolverFactory()
+		}
 		e.sessions[tag] = sess
 	}
 	if span := e.cfg.WindowSpan; span > 0 {
@@ -498,14 +544,45 @@ func (e *Engine) flushLocked() {
 	}
 }
 
+// getSnapLocked returns a snapshot loaded with the session's current window,
+// reusing a pooled object (buffer, closures and all) when one is free.
+func (e *Engine) getSnapLocked(sess *session) *snapshot {
+	var snap *snapshot
+	if n := len(e.snapFree); n > 0 {
+		snap = e.snapFree[n-1]
+		e.snapFree[n-1] = nil
+		e.snapFree = e.snapFree[:n-1]
+	} else {
+		snap = &snapshot{e: e}
+		snap.run = snap.solve
+		snap.done = func(o batch.Outcome) { snap.e.complete(snap, o) }
+	}
+	snap.sess = sess
+	snap.tag = sess.tag
+	snap.samples = snap.samples[:0]
+	for i := 0; i < sess.n; i++ {
+		snap.samples = append(snap.samples, sess.at(i))
+	}
+	return snap
+}
+
+// putSnapLocked recycles a snapshot whose solve has fully completed (or that
+// was coalesced away before solving).
+func (e *Engine) putSnapLocked(snap *snapshot) {
+	snap.sess = nil
+	snap.sv = solved{}
+	e.snapFree = append(e.snapFree, snap)
+}
+
 // dispatchLocked freezes the session's window and routes it to the pool,
 // coalescing when a solve for this tag is already in flight.
 func (e *Engine) dispatchLocked(sess *session) {
-	snap := &snapshot{tag: sess.tag, samples: sess.window()}
+	snap := e.getSnapLocked(sess)
 	sess.since = 0
 	if sess.inFlight {
 		if sess.pending != nil {
 			e.coalesced.Inc()
+			e.putSnapLocked(sess.pending)
 		}
 		sess.pending = snap
 		return
@@ -517,36 +594,52 @@ func (e *Engine) dispatchLocked(sess *session) {
 // submitLocked hands one snapshot to the pool. The session must already be
 // marked in flight.
 func (e *Engine) submitLocked(sess *session, snap *snapshot) {
-	err := e.pool.Submit(func(ctx context.Context) (any, error) {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		var tr *obs.Tracer
-		if e.traceSolves {
-			tr = obs.NewTracer()
-		}
-		begin := time.Now()
-		sol, serr := SolveWindow(snap.samples, e.cfg.Smooth, e.cfg.Solver, tr)
-		return solved{sol: sol, err: serr, latency: time.Since(begin), trace: tr.Events()}, nil
-	}, func(o batch.Outcome) {
-		e.complete(sess, snap, o)
-	})
+	err := e.pool.Submit(snap.run, snap.done)
 	if err != nil {
 		// Pool closed: only reachable through Close, which drains first, so
 		// losing this snapshot cannot violate the drain guarantee.
 		sess.inFlight = false
-		sess.pending = nil
+		if sess.pending != nil {
+			e.putSnapLocked(sess.pending)
+			sess.pending = nil
+		}
+		e.putSnapLocked(snap)
 		e.cond.Broadcast()
 	}
 }
 
+// solve runs the window solve in a pool worker. It writes into the
+// snapshot-owned solved carrier and returns its address, so a steady-state
+// solve boxes no new values.
+func (snap *snapshot) solve(ctx context.Context) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e := snap.e
+	var tr *obs.Tracer
+	if e.traceSolves {
+		tr = obs.NewTracer()
+	}
+	begin := time.Now()
+	var sol *core.Solution
+	var serr error
+	if s := snap.sess.solver; s != nil {
+		sol, serr = s.SolveWindow(snap.samples, tr)
+	} else {
+		sol, serr = SolveWindow(snap.samples, e.cfg.Smooth, e.cfg.Solver, tr)
+	}
+	snap.sv = solved{sol: sol, err: serr, latency: time.Since(begin), trace: tr.Events()}
+	return &snap.sv, nil
+}
+
 // complete publishes one finished solve and chains any pending snapshot.
-func (e *Engine) complete(sess *session, snap *snapshot, o batch.Outcome) {
+func (e *Engine) complete(snap *snapshot, o batch.Outcome) {
+	sess := snap.sess
 	var sv solved
 	if o.Err != nil {
 		sv.err = o.Err
-	} else if v, ok := o.Value.(solved); ok {
-		sv = v
+	} else if v, ok := o.Value.(*solved); ok {
+		sv = *v
 	}
 	e.mu.Lock()
 	sess.seq++
@@ -562,7 +655,15 @@ func (e *Engine) complete(sess *session, snap *snapshot, o batch.Outcome) {
 		est.From = snap.samples[0].Time
 		est.To = snap.samples[len(snap.samples)-1].Time
 	}
-	sess.latest = &est
+	if sess.solver != nil && sv.sol != nil {
+		// A session solver reuses its Solution storage on the next solve,
+		// which may start as soon as the pending snapshot is chained below.
+		// Publish a per-tag copy instead of the solver's working struct.
+		copySolution(&sess.pubSol, sv.sol)
+		est.Solution = &sess.pubSol
+	}
+	sess.latestBuf = est
+	sess.latest = &sess.latestBuf
 	if sv.trace != nil {
 		sess.lastTrace = sv.trace
 	}
@@ -580,6 +681,7 @@ func (e *Engine) complete(sess *session, snap *snapshot, o batch.Outcome) {
 			e.droppedSub.Inc()
 		}
 	}
+	e.putSnapLocked(snap) // everything needed from snap is copied into est
 	if next := sess.pending; next != nil {
 		sess.pending = nil
 		e.submitLocked(sess, next)
@@ -664,13 +766,14 @@ func (s *session) evictOldest() {
 	s.n--
 }
 
-// window copies the current window in arrival order.
-func (s *session) window() []Sample {
-	out := make([]Sample, s.n)
-	for i := 0; i < s.n; i++ {
-		out[i] = s.at(i)
-	}
-	return out
+// copySolution copies src into dst, reusing dst's slice backing so a
+// steady-state publication from a session solver does not allocate.
+func copySolution(dst, src *core.Solution) {
+	res, w, rd := dst.Residuals, dst.Weights, dst.RefDistances
+	*dst = *src
+	dst.Residuals = append(res[:0], src.Residuals...)
+	dst.Weights = append(w[:0], src.Weights...)
+	dst.RefDistances = append(rd[:0], src.RefDistances...)
 }
 
 func finite(x float64) bool {

@@ -59,6 +59,14 @@ type (
 	AdaptiveResult = core.AdaptiveResult
 	// CenterCalibration reports a phase-center calibration.
 	CenterCalibration = core.CenterCalibration
+	// LineSession is the incremental sliding-window line solver: rebuild
+	// solves are bit-identical to Locate2DLineIntervals, slide solves reuse
+	// the previous window's normal equations with zero steady-state
+	// allocations.
+	LineSession = core.LineSession
+	// LineSessionStats counts a LineSession's slides, rebuilds, and
+	// incremental factorization updates.
+	LineSessionStats = core.LineSessionStats
 )
 
 // Errors re-exported for matching with errors.Is.
@@ -110,6 +118,15 @@ func Locate2DLine(obs []PosPhase, lambda, interval float64, positiveSide bool, o
 // range.
 func Locate2DLineIntervals(obs []PosPhase, lambda float64, intervals []float64, positiveSide bool, opts SolveOptions) (*Solution, error) {
 	return core.Locate2DLineIntervals(obs, lambda, intervals, positiveSide, opts)
+}
+
+// NewLineSession builds an incremental solver for a sliding window of line
+// observations. Feed successive windows to Locate; overlapping windows reuse
+// the previous normal equations (rank-1 update/downdate), disjoint or
+// incoherent windows trigger a full rebuild identical to
+// Locate2DLineIntervals.
+func NewLineSession(lambda float64, intervals []float64, positiveSide bool) (*LineSession, error) {
+	return core.NewLineSession(lambda, intervals, positiveSide)
 }
 
 // Locate3DPlanar solves the 3-D lower-dimension case: observations confined

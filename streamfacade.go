@@ -24,6 +24,10 @@ type (
 	StreamMetrics = stream.Metrics
 	// StreamSolver turns one preprocessed window into an estimate.
 	StreamSolver = stream.Solver
+	// StreamSessionSolver is a stateful per-tag window solver, created by
+	// StreamConfig.SolverFactory; see stream.SessionSolver for the aliasing
+	// and serialization contract.
+	StreamSessionSolver = stream.SessionSolver
 	// StreamDropPolicy selects the behaviour at a full window.
 	StreamDropPolicy = stream.DropPolicy
 )
@@ -61,6 +65,15 @@ func StreamFree2DSolver(lambda float64, stride int, opts SolveOptions) StreamSol
 // StreamFree3DSolver is StreamFree2DSolver with full 3-D diversity.
 func StreamFree3DSolver(lambda float64, stride int, opts SolveOptions) StreamSolver {
 	return stream.Free3DSolver(lambda, stride, opts)
+}
+
+// StreamIncrementalLine2DFactory returns a StreamConfig.SolverFactory whose
+// per-tag sessions solve the line case incrementally (core.LineSession):
+// zero heap allocations per steady-state window re-solve, bit-identical to
+// StreamLine2DSolver on rebuilds and within 1e-9·max(1, cond) on slides.
+// Requires StreamConfig.Smooth == 0.
+func StreamIncrementalLine2DFactory(lambda float64, intervals []float64, positiveSide bool, opts SolveOptions) (func() StreamSessionSolver, error) {
+	return stream.IncrementalLine2DFactory(lambda, intervals, positiveSide, opts)
 }
 
 // StreamSampleOf converts a testbed read into a stream sample.

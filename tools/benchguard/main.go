@@ -1,0 +1,131 @@
+// Command benchguard compares a freshly measured lionbench -json snapshot
+// against the committed baseline (BENCH_<pr>.json) and fails when the hot
+// paths regress. `make bench-guard` wires it into `make check`.
+//
+// Rules:
+//
+//   - Every benchmark named in the baseline must be present in the current
+//     snapshot — a silently dropped benchmark is a regression of coverage.
+//   - allocs_per_op is guarded for every baseline benchmark: allocation
+//     counts are deterministic, so any increase beyond the shift budget
+//     fails. A zero-alloc baseline therefore fails on the first allocation.
+//   - ns_per_op is guarded only for the names listed with -ns (wall clock is
+//     noisy; the guarded list holds the benchmarks whose latency is a
+//     product requirement).
+//
+// Exit status 1 on any violation, with one line per finding.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// benchResult mirrors cmd/lionbench's snapshot entry (additive schema).
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchSnapshot struct {
+	Schema     string        `json:"schema"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	var (
+		baselinePath = fs.String("baseline", "BENCH_6.json", "committed snapshot to guard against")
+		currentPath  = fs.String("current", "", "freshly measured snapshot (required)")
+		maxShift     = fs.Float64("max-shift", 0.10, "allowed fractional regression per metric")
+		nsNames      = fs.String("ns", "locate_2d_line,stream_resolve_incremental",
+			"comma-separated benchmark names whose ns_per_op is guarded")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *currentPath == "" {
+		return fmt.Errorf("-current is required")
+	}
+	baseline, err := readSnapshot(*baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	current, err := readSnapshot(*currentPath)
+	if err != nil {
+		return fmt.Errorf("current: %w", err)
+	}
+	guardNS := map[string]bool{}
+	for _, n := range strings.Split(*nsNames, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			guardNS[n] = true
+		}
+	}
+	findings := compare(baseline, current, *maxShift, guardNS)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		return fmt.Errorf("%d regression(s) against %s", len(findings), *baselinePath)
+	}
+	fmt.Fprintf(stdout, "benchguard: %d benchmarks within %.0f%% of %s\n",
+		len(baseline.Benchmarks), *maxShift*100, *baselinePath)
+	return nil
+}
+
+func readSnapshot(path string) (*benchSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(snap.Schema, "lionbench/") {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, snap.Schema)
+	}
+	return &snap, nil
+}
+
+// compare returns one human-readable finding per violated rule.
+func compare(baseline, current *benchSnapshot, maxShift float64, guardNS map[string]bool) []string {
+	cur := map[string]benchResult{}
+	for _, b := range current.Benchmarks {
+		cur[b.Name] = b
+	}
+	var findings []string
+	for _, base := range baseline.Benchmarks {
+		got, ok := cur[base.Name]
+		if !ok {
+			findings = append(findings,
+				fmt.Sprintf("%s: missing from current snapshot", base.Name))
+			continue
+		}
+		if allowed := float64(base.AllocsPerOp) * (1 + maxShift); float64(got.AllocsPerOp) > allowed {
+			findings = append(findings,
+				fmt.Sprintf("%s: allocs/op %d, baseline %d (budget %.1f)",
+					base.Name, got.AllocsPerOp, base.AllocsPerOp, allowed))
+		}
+		if guardNS[base.Name] {
+			if allowed := base.NsPerOp * (1 + maxShift); got.NsPerOp > allowed {
+				findings = append(findings,
+					fmt.Sprintf("%s: %.0f ns/op, baseline %.0f (budget %.0f)",
+						base.Name, got.NsPerOp, base.NsPerOp, allowed))
+			}
+		}
+	}
+	return findings
+}

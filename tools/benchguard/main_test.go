@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snap(benchmarks ...benchResult) *benchSnapshot {
+	return &benchSnapshot{Schema: "lionbench/1", Benchmarks: benchmarks}
+}
+
+func TestCompareCleanPass(t *testing.T) {
+	base := snap(
+		benchResult{Name: "locate_2d_line", NsPerOp: 50000, AllocsPerOp: 100},
+		benchResult{Name: "stream_resolve_incremental", NsPerOp: 8000, AllocsPerOp: 0},
+	)
+	cur := snap(
+		benchResult{Name: "locate_2d_line", NsPerOp: 54000, AllocsPerOp: 100},
+		benchResult{Name: "stream_resolve_incremental", NsPerOp: 8500, AllocsPerOp: 0},
+	)
+	guard := map[string]bool{"locate_2d_line": true, "stream_resolve_incremental": true}
+	if f := compare(base, cur, 0.10, guard); len(f) != 0 {
+		t.Fatalf("unexpected findings: %v", f)
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	base := snap(benchResult{Name: "locate_2d_line", NsPerOp: 50000, AllocsPerOp: 100})
+	cur := snap(benchResult{Name: "locate_2d_line", NsPerOp: 56000, AllocsPerOp: 100})
+	guard := map[string]bool{"locate_2d_line": true}
+	f := compare(base, cur, 0.10, guard)
+	if len(f) != 1 || !strings.Contains(f[0], "ns/op") {
+		t.Fatalf("want one ns/op finding, got %v", f)
+	}
+	// The same shift on an unguarded name passes: wall clock is only policed
+	// where latency is a product requirement.
+	if f := compare(base, cur, 0.10, nil); len(f) != 0 {
+		t.Fatalf("unguarded ns shift flagged: %v", f)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := snap(
+		benchResult{Name: "locate_2d_line", NsPerOp: 50000, AllocsPerOp: 100},
+		benchResult{Name: "stream_resolve_incremental", NsPerOp: 8000, AllocsPerOp: 0},
+	)
+	cur := snap(
+		benchResult{Name: "locate_2d_line", NsPerOp: 50000, AllocsPerOp: 112},
+		benchResult{Name: "stream_resolve_incremental", NsPerOp: 8000, AllocsPerOp: 1},
+	)
+	f := compare(base, cur, 0.10, nil)
+	if len(f) != 2 {
+		t.Fatalf("want two allocs/op findings (every name guarded, zero baseline "+
+			"fails on the first allocation), got %v", f)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := snap(
+		benchResult{Name: "locate_2d_line", NsPerOp: 50000, AllocsPerOp: 100},
+		benchResult{Name: "stream_resolve_incremental", NsPerOp: 8000, AllocsPerOp: 0},
+	)
+	cur := snap(benchResult{Name: "locate_2d_line", NsPerOp: 50000, AllocsPerOp: 100})
+	f := compare(base, cur, 0.10, nil)
+	if len(f) != 1 || !strings.Contains(f[0], "missing") {
+		t.Fatalf("want one missing-benchmark finding, got %v", f)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := write("base.json", `{"schema":"lionbench/1","benchmarks":[
+		{"name":"locate_2d_line","ns_per_op":50000,"allocs_per_op":100}]}`)
+	good := write("good.json", `{"schema":"lionbench/1","benchmarks":[
+		{"name":"locate_2d_line","ns_per_op":51000,"allocs_per_op":100}]}`)
+	bad := write("bad.json", `{"schema":"lionbench/1","benchmarks":[
+		{"name":"locate_2d_line","ns_per_op":90000,"allocs_per_op":100}]}`)
+
+	var out strings.Builder
+	if err := run([]string{"-baseline", base, "-current", good}, &out); err != nil {
+		t.Fatalf("clean comparison failed: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-baseline", base, "-current", bad}, &out); err == nil {
+		t.Fatalf("regressed comparison passed:\n%s", out.String())
+	}
+	if err := run([]string{"-baseline", base}, &out); err == nil {
+		t.Fatal("missing -current accepted")
+	}
+	if err := run([]string{"-baseline", base, "-current", write("junk.json", "{")}, &out); err == nil {
+		t.Fatal("malformed current snapshot accepted")
+	}
+	if err := run([]string{"-baseline", base, "-current",
+		write("wrong.json", `{"schema":"other/1","benchmarks":[]}`)}, &out); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
