@@ -2,15 +2,16 @@ GO ?= go
 
 ## BENCH_BASELINE: the committed lionbench snapshot bench-guard compares
 ## against. Bump when a PR lands a new snapshot.
-BENCH_BASELINE ?= BENCH_6.json
+BENCH_BASELINE ?= BENCH_7.json
 
-.PHONY: check fmt vet build test race bench bench-guard fuzz serve-smoke metriclint
+.PHONY: check fmt vet build test race bench bench-guard fuzz serve-smoke cluster-smoke metriclint
 
 ## check: the CI gate — formatting, vet, build, metric-name linting, the
 ## full suite under the race detector (includes the 1k-job batch stress test,
 ## the stream concurrent-publisher stress test, and the serial/parallel
-## equivalence tests), and the benchmark regression guard.
-check: fmt vet build metriclint race bench-guard
+## equivalence tests), the multi-process cluster smoke, and the benchmark
+## regression guard.
+check: fmt vet build metriclint race cluster-smoke bench-guard
 
 ## metriclint: every registered metric name matches lion_[a-z_]+ and is
 ## documented in DESIGN.md section 9.
@@ -51,9 +52,17 @@ bench-guard:
 serve-smoke:
 	$(GO) test ./cmd/liond -run TestServeSmoke -count=1 -v
 
+## cluster-smoke: multi-process cluster check — build the real liond and
+## lionroute binaries, run a router in front of two shard processes, ingest
+## a binary wire stream, read an estimate back through the router, and
+## verify every process drains cleanly on SIGTERM.
+cluster-smoke:
+	$(GO) test ./cmd/lionroute -run TestClusterSmoke -count=1 -v
+
 ## fuzz: short fuzzing passes over the phase-wrap, preprocessing, and ingest
 ## decoding invariants (their seed corpora also run in every plain `go test`).
 fuzz:
 	$(GO) test -fuzz FuzzWrapPhase -fuzztime 30s ./internal/rf
 	$(GO) test -run '^$$' -fuzz FuzzPreprocess -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzIngestDecode -fuzztime 30s ./internal/dataset
+	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 30s ./internal/wire

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -15,11 +16,13 @@ import (
 	"time"
 
 	"github.com/rfid-lion/lion/internal/core"
+	"github.com/rfid-lion/lion/internal/dataset"
 	"github.com/rfid-lion/lion/internal/geom"
 	"github.com/rfid-lion/lion/internal/health"
 	"github.com/rfid-lion/lion/internal/rf"
 	"github.com/rfid-lion/lion/internal/stats"
 	"github.com/rfid-lion/lion/internal/stream"
+	"github.com/rfid-lion/lion/internal/wire"
 )
 
 // benchResult is one benchmark's measurements in the JSON snapshot.
@@ -70,6 +73,28 @@ func benchStream(lambda float64, n int) []core.PosPhase {
 		obs[i] = core.PosPhase{Pos: pos, Theta: theta}
 	}
 	return obs
+}
+
+// benchIngestBatch builds the standard ingest body for the codec decode
+// benchmarks: one wire frame's worth of samples spread over eight tags, the
+// mixed-stream shape lionroute forwards.
+func benchIngestBatch() []dataset.TaggedSample {
+	rng := stats.NewRNG(29)
+	batch := make([]dataset.TaggedSample, 4096)
+	for i := range batch {
+		batch[i] = dataset.TaggedSample{
+			Tag:     fmt.Sprintf("BENCH-%d", i%8),
+			TimeS:   float64(i) * 0.01,
+			X:       -1.2 + 2.4*float64(i)/float64(len(batch)),
+			Y:       0.05 * rng.Normal(0, 1),
+			Z:       0.4,
+			Phase:   rf.WrapPhase(rng.Normal(3, 1)),
+			RSSI:    -55 + rng.Normal(0, 2),
+			Segment: i / 512,
+			Channel: i % 16,
+		}
+	}
+	return batch
 }
 
 // benchSuite enumerates the tracked micro-benchmarks. Names are stable
@@ -207,6 +232,40 @@ func benchSuite() []struct {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				step()
+			}
+		}},
+		{"wire_decode", func(b *testing.B) {
+			// One 4096-sample binary ingest body decoded per op — the
+			// cluster forwarding hot path. The ≥5x margin over
+			// ndjson_decode is the wire codec's reason to exist; the
+			// committed snapshot records both sides of the ratio.
+			var body bytes.Buffer
+			if err := (wire.Codec{}).Encode(&body, benchIngestBatch()); err != nil {
+				b.Fatal(err)
+			}
+			raw := body.Bytes()
+			b.SetBytes(int64(len(raw)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.DecodeIngest(bytes.NewReader(raw)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ndjson_decode", func(b *testing.B) {
+			// The same 4096 samples as NDJSON — the compatibility format's
+			// decode cost, the denominator of the wire speedup.
+			var body bytes.Buffer
+			if err := (dataset.NDJSON{}).Encode(&body, benchIngestBatch()); err != nil {
+				b.Fatal(err)
+			}
+			raw := body.Bytes()
+			b.SetBytes(int64(len(raw)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dataset.DecodeIngest(bytes.NewReader(raw)); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}},
 		{"phase_offset_calibration", func(b *testing.B) {

@@ -105,7 +105,9 @@ func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
 	case s.draining.Load():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 	case s.mon.CriticalFiring():
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "critical alert firing"})
+		// The exact status string is part of the cluster protocol: lionroute
+		// parses it and parks the shard query-only (internal/cluster).
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "critical-alert"})
 	default:
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	}

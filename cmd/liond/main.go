@@ -53,6 +53,7 @@ import (
 	"github.com/rfid-lion/lion/internal/obs"
 	"github.com/rfid-lion/lion/internal/rf"
 	"github.com/rfid-lion/lion/internal/stream"
+	"github.com/rfid-lion/lion/internal/wire"
 )
 
 // logx is the daemon's structured logger; one JSON object per line on stderr.
@@ -73,6 +74,7 @@ type config struct {
 	drain   time.Duration
 	cfg     stream.Config
 	monitor bool
+	wire    bool
 	health  health.Config
 }
 
@@ -106,6 +108,8 @@ func parseFlags(args []string) (*config, error) {
 			"record each window's solve trace, served at /debug/trace/{tag}")
 		monitor = fs.Bool("monitor", true,
 			"run the solve-health monitor (alerts, flight recorder, /v1/alerts)")
+		wireOK = fs.Bool("wire", true,
+			"accept binary wire frames (Content-Type "+wire.ContentType+") on POST /v1/samples")
 		antenna = fs.String("antenna", "A1",
 			"antenna id this daemon ingests for (alert scope and drift gauge label)")
 		calCenter = fs.String("cal-center", "",
@@ -202,6 +206,7 @@ func parseFlags(args []string) (*config, error) {
 		addr:    *addr,
 		drain:   *drain,
 		monitor: *monitor,
+		wire:    *wireOK,
 		health:  hcfg,
 		cfg: stream.Config{
 			WindowSize:    *window,
@@ -277,7 +282,7 @@ func run(args []string) error {
 		"trace", cfg.cfg.TraceSolves,
 		"monitor", mon != nil,
 		"calibrations", len(cfg.health.Calibrations))
-	return serve(ctx, ln, eng, mon, cfg.drain)
+	return serve(ctx, ln, eng, mon, cfg.drain, cfg.wire)
 }
 
 // buildPipeline assembles the shared registry, the health monitor (unless
@@ -307,8 +312,8 @@ func buildPipeline(cfg *config) (*stream.Engine, *health.Monitor, error) {
 // gracefully: readiness flips to draining first (load balancers stop routing
 // here), the listener closes so no new samples arrive, and the engine drains
 // every in-flight and dirty window before serve returns.
-func serve(ctx context.Context, ln net.Listener, eng *stream.Engine, mon *health.Monitor, drain time.Duration) error {
-	s := newServer(eng, mon)
+func serve(ctx context.Context, ln net.Listener, eng *stream.Engine, mon *health.Monitor, drain time.Duration, wireOK bool) error {
+	s := newServer(eng, mon, wireOK)
 	srv := &http.Server{
 		Handler:           s.routes(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -342,12 +347,17 @@ func serve(ctx context.Context, ln net.Listener, eng *stream.Engine, mon *health
 type server struct {
 	eng      *stream.Engine
 	mon      *health.Monitor // nil when -monitor=false
+	codecs   []dataset.Codec // ingest codecs; first is the fallback (NDJSON)
 	start    time.Time
 	draining atomic.Bool
 }
 
-func newServer(eng *stream.Engine, mon *health.Monitor) *server {
+func newServer(eng *stream.Engine, mon *health.Monitor, wireOK bool) *server {
 	s := &server{eng: eng, mon: mon, start: time.Now()}
+	s.codecs = []dataset.Codec{dataset.NDJSON{}}
+	if wireOK {
+		s.codecs = append(s.codecs, wire.Codec{})
+	}
 	eng.Registry().GaugeFunc("lion_uptime_seconds", "Seconds since the daemon started.", func() float64 {
 		return time.Since(s.start).Seconds()
 	})
@@ -385,26 +395,23 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	samples, err := dataset.DecodeIngest(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	codec := dataset.SelectCodec(s.codecs, r.Header.Get("Content-Type"))
+	samples, err := codec.Decode(http.MaxBytesReader(w, r.Body, maxIngestBody))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	accepted, dropped := 0, 0
-	for _, ts := range samples {
-		sm := ts.Sample()
-		err := s.eng.Ingest(ts.Tag, stream.FromSim(sm))
-		switch {
-		case err == nil:
-			accepted++
-		case errors.Is(err, stream.ErrClosed):
-			writeError(w, http.StatusServiceUnavailable, err)
-			return
-		default:
-			// RejectNewest overflow or a non-finite sample: count and go on,
-			// one bad sample must not poison the rest of the batch.
-			dropped++
-		}
+	// The whole batch enters the engine under one lock acquisition; bad
+	// samples (RejectNewest overflow, non-finite floats) are counted and
+	// skipped so one cannot poison the rest of the batch.
+	batch := make([]stream.Tagged, len(samples))
+	for i, ts := range samples {
+		batch[i] = stream.Tagged{Tag: ts.Tag, Sample: stream.FromSim(ts.Sample())}
+	}
+	accepted, dropped, err := s.eng.IngestTagged(batch)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"accepted": accepted, "dropped": dropped})
 }

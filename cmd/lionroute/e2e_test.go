@@ -1,0 +1,476 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/cluster"
+	"github.com/rfid-lion/lion/internal/dataset"
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/sim"
+	"github.com/rfid-lion/lion/internal/traject"
+	"github.com/rfid-lion/lion/internal/wire"
+)
+
+// The e2e harness builds the real liond and lionroute binaries once per test
+// run and drives them as separate OS processes, which is the only way to
+// prove the cluster contract end to end: codec negotiation over real HTTP,
+// per-shard placement, and bit-identical estimates versus a single node.
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func binaries(t *testing.T) (liond, lionroute string) {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "lion-e2e-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", dir,
+			"github.com/rfid-lion/lion/cmd/liond",
+			"github.com/rfid-lion/lion/cmd/lionroute")
+		cmd.Dir = "../.."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("build: %v\n%s", err, out)
+			return
+		}
+		binDir = dir
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return filepath.Join(binDir, "liond"), filepath.Join(binDir, "lionroute")
+}
+
+// proc is one daemon subprocess whose listen address was scraped from its
+// structured "listening" log line.
+type proc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+func (p *proc) base() string { return "http://" + p.addr }
+
+// startProc launches bin and waits for its "listening" log line.
+func startProc(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 1<<16), 1<<20)
+		for sc.Scan() {
+			var line struct {
+				Msg  string `json:"msg"`
+				Addr string `json:"addr"`
+			}
+			if json.Unmarshal(sc.Bytes(), &line) == nil && line.Msg == "listening" {
+				select {
+				case addrCh <- line.Addr:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &proc{cmd: cmd, addr: addr}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("%s never logged its listen address", bin)
+		return nil
+	}
+}
+
+// stopProc sends SIGTERM and requires a clean (exit 0) drain.
+func stopProc(t *testing.T, p *proc) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("process exited uncleanly: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		p.cmd.Process.Kill()
+		t.Fatal("process did not drain after SIGTERM")
+	}
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("%s never became ready", base)
+}
+
+// shardFlags is the deterministic solver configuration every node in these
+// tests runs with; the single-node reference must match the shards exactly.
+var shardFlags = []string{
+	"-addr", "127.0.0.1:0",
+	"-intervals", "0.1", "-every", "32", "-workers", "1", "-monitor=false",
+}
+
+func writeClusterConfig(t *testing.T, shards []*proc) string {
+	t.Helper()
+	cfg := cluster.Config{}
+	for i, p := range shards {
+		cfg.Shards = append(cfg.Shards, cluster.ShardConfig{
+			ID:  fmt.Sprintf("s%d", i+1),
+			URL: p.base(),
+		})
+	}
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// tagTrace generates one deterministic scan for a tag, truncated to a
+// multiple of the solve cadence so the final dispatched solve covers the
+// last sample and the published estimate is a fixed point.
+func tagTrace(t *testing.T, tag string, seed int64) []dataset.TaggedSample {
+	t.Helper()
+	env, err := sim.NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := sim.NewReader(env, sim.ReaderConfig{RateHz: 100, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ant := &sim.Antenna{
+		PhysicalCenter:    geom.V3(0.1, 0.8, 0),
+		PhaseCenterOffset: geom.V3(0.02, -0.015, 0),
+		PhaseOffset:       2.74,
+	}
+	trj, err := traject.NewLinear(geom.V3(-0.6, 0, 0), geom.V3(0.6, 0, 0), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := reader.Scan(ant, &sim.Tag{PhaseOffset: 0.4}, trj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples = samples[:len(samples)-len(samples)%32]
+	out := make([]dataset.TaggedSample, len(samples))
+	for i, sm := range samples {
+		out[i] = dataset.Tagged(tag, sm)
+	}
+	return out
+}
+
+// interleave round-robins the per-tag traces into one mixed stream, the
+// arrival pattern a real reader field produces.
+func interleave(traces [][]dataset.TaggedSample) []dataset.TaggedSample {
+	var out []dataset.TaggedSample
+	for i := 0; ; i++ {
+		alive := false
+		for _, tr := range traces {
+			if i < len(tr) {
+				out = append(out, tr[i])
+				alive = true
+			}
+		}
+		if !alive {
+			return out
+		}
+	}
+}
+
+func postWire(t *testing.T, base string, batch []dataset.TaggedSample) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := (wire.Codec{}).Encode(&buf, batch); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/samples", wire.ContentType, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res struct {
+		Accepted int `json:"accepted"`
+		Rejected int `json:"rejected"`
+		Dropped  int `json:"dropped"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || res.Accepted != len(batch) {
+		t.Fatalf("ingest to %s: status %d, %+v (want accepted=%d)", base, resp.StatusCode, res, len(batch))
+	}
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if into != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, into); err != nil {
+			t.Fatalf("GET %s: %v in %s", url, err, body)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitQueuesDrained polls /v1/cluster until no shard has queued samples.
+func waitQueuesDrained(t *testing.T, routerBase string) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		var doc struct {
+			Shards []cluster.ShardStatus `json:"shards"`
+		}
+		if getJSON(t, routerBase+"/v1/cluster", &doc) == http.StatusOK {
+			pending := int64(0)
+			for _, s := range doc.Shards {
+				pending += s.Queued
+			}
+			if pending == 0 {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("forward queues never drained")
+}
+
+// estimate fetches one tag's estimate and strips the per-process fields
+// (seq counts coalesced dispatches, latency is wall time) so what remains
+// must be bit-identical across deployments.
+func estimate(t *testing.T, base, tag string) (map[string]any, bool) {
+	t.Helper()
+	var doc map[string]any
+	code := getJSON(t, base+"/v1/tags/"+tag+"/estimate", &doc)
+	if code == http.StatusNotFound {
+		return nil, false
+	}
+	if code != http.StatusOK {
+		t.Fatalf("estimate %s/%s: status %d", base, tag, code)
+	}
+	delete(doc, "seq")
+	delete(doc, "solve_latency_ms")
+	return doc, true
+}
+
+// TestClusterE2E is the full harness: three shard processes behind a router
+// process, a mixed eight-tag stream ingested as binary wire frames through
+// the router and replayed into a fourth, single liond. Tags must land on
+// exactly the shard the ring predicts, and every tag's final estimate must
+// be bit-identical between the cluster and the single node.
+func TestClusterE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	liond, lionroute := binaries(t)
+
+	var shards []*proc
+	for i := 0; i < 3; i++ {
+		shards = append(shards, startProc(t, liond, shardFlags...))
+	}
+	single := startProc(t, liond, shardFlags...)
+	for _, p := range append(append([]*proc{}, shards...), single) {
+		waitReady(t, p.base())
+	}
+	cfgPath := writeClusterConfig(t, shards)
+	router := startProc(t, lionroute, "-addr", "127.0.0.1:0", "-config", cfgPath)
+	waitReady(t, router.base())
+
+	tags := []string{"E2E-A", "E2E-B", "E2E-C", "E2E-D", "E2E-E", "E2E-F", "E2E-G", "E2E-H"}
+	var traces [][]dataset.TaggedSample
+	for i, tag := range tags {
+		traces = append(traces, tagTrace(t, tag, int64(100+i)))
+	}
+	stream := interleave(traces)
+
+	// Same chunked stream into the router (wire codec) and the single node.
+	const chunk = 500
+	for i := 0; i < len(stream); i += chunk {
+		batch := stream[i:min(i+chunk, len(stream))]
+		postWire(t, router.base(), batch)
+		postWire(t, single.base(), batch)
+	}
+	waitQueuesDrained(t, router.base())
+
+	// Placement: every tag must be known to exactly the shard the ring
+	// predicts, and to no other.
+	ring, err := cluster.NewRing([]string{"s1", "s2", "s3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range tags {
+		owner := ring.Owner(tag)
+		for i, p := range shards {
+			var doc struct {
+				Tags []string `json:"tags"`
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				getJSON(t, p.base()+"/v1/tags", &doc)
+				has := false
+				for _, got := range doc.Tags {
+					if got == tag {
+						has = true
+					}
+				}
+				if i == owner && !has {
+					if time.Now().After(deadline) {
+						t.Fatalf("tag %s missing from owning shard s%d (tags %v)", tag, i+1, doc.Tags)
+					}
+					time.Sleep(20 * time.Millisecond)
+					continue
+				}
+				if i != owner && has {
+					t.Fatalf("tag %s leaked onto shard s%d (owner s%d)", tag, i+1, owner+1)
+				}
+				break
+			}
+		}
+	}
+
+	// Estimates through the router must be bit-identical to the single node.
+	for _, tag := range tags {
+		lastTime := traces[0][0].TimeS // placeholder, replaced below
+		for _, tr := range traces {
+			if tr[0].Tag == tag {
+				lastTime = tr[len(tr)-1].TimeS
+			}
+		}
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			viaRouter, ok1 := estimate(t, router.base(), tag)
+			viaSingle, ok2 := estimate(t, single.base(), tag)
+			if ok1 && ok2 &&
+				viaRouter["to_s"] == lastTime && viaSingle["to_s"] == lastTime &&
+				reflect.DeepEqual(viaRouter, viaSingle) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("tag %s estimates never converged:\nrouter: %v\nsingle: %v (want to_s=%v)",
+					tag, viaRouter, viaSingle, lastTime)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+
+	// Router metrics account for every forwarded sample.
+	resp, err := http.Get(router.base() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	want := fmt.Sprintf("lion_cluster_forwarded_samples_total %d", len(stream))
+	if !bytes.Contains(metrics, []byte(want)) {
+		t.Errorf("router metrics missing %q", want)
+	}
+
+	// Clean shutdown, router first so queues flush against live shards.
+	stopProc(t, router)
+	for _, p := range shards {
+		stopProc(t, p)
+	}
+	stopProc(t, single)
+}
+
+// TestClusterSmoke is the light harness behind `make cluster-smoke`: a
+// router and two shards, one wire ingest, a routed query, a fanned query,
+// and a clean SIGTERM shutdown of all three processes.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke")
+	}
+	liond, lionroute := binaries(t)
+	shards := []*proc{
+		startProc(t, liond, shardFlags...),
+		startProc(t, liond, shardFlags...),
+	}
+	for _, p := range shards {
+		waitReady(t, p.base())
+	}
+	router := startProc(t, lionroute, "-addr", "127.0.0.1:0", "-config", writeClusterConfig(t, shards))
+	waitReady(t, router.base())
+
+	trace := tagTrace(t, "SMOKE-1", 7)
+	postWire(t, router.base(), trace)
+	waitQueuesDrained(t, router.base())
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if doc, ok := estimate(t, router.base(), "SMOKE-1"); ok {
+			if doc["error"] == nil && doc["x_m"] != nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no estimate through the router")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	var tagsDoc struct {
+		Tags []string `json:"tags"`
+	}
+	if getJSON(t, router.base()+"/v1/tags", &tagsDoc) != http.StatusOK || len(tagsDoc.Tags) != 1 {
+		t.Fatalf("fanned tag listing: %+v", tagsDoc)
+	}
+
+	stopProc(t, router)
+	for _, p := range shards {
+		stopProc(t, p)
+	}
+}

@@ -1,0 +1,141 @@
+// Command lionroute is the cluster front door: it consistent-hashes tag ids
+// onto a static ring of liond shards, forwards ingest batches over
+// persistent connections with per-shard bounded queues, and routes queries
+// to the owning shard.
+//
+// Example session (see README.md "Running a cluster"):
+//
+//	liond -addr :9001 & liond -addr :9002 &
+//	cat > cluster.json <<'EOF'
+//	{"shards": [
+//	  {"id": "s1", "url": "http://127.0.0.1:9001"},
+//	  {"id": "s2", "url": "http://127.0.0.1:9002"}
+//	]}
+//	EOF
+//	lionroute -addr :8080 -config cluster.json &
+//	lionsim -scenario linear -format wire |
+//	    curl -s -H 'Content-Type: application/x-lion-wire' \
+//	         --data-binary @- http://localhost:8080/v1/samples
+//	curl -s http://localhost:8080/v1/tags/T1/estimate
+//
+// Endpoints:
+//
+//	POST /v1/samples               NDJSON or binary wire frames
+//	GET  /v1/tags                  union of tag ids across live shards
+//	GET  /v1/tags/{id}/estimate    proxied to the shard owning the tag
+//	GET  /v1/alerts                every live shard's alert document
+//	GET  /v1/cluster               shard states, queue depths
+//	GET  /healthz                  router liveness
+//	GET  /readyz                   503 until at least one shard takes ingest
+//	GET  /metrics                  lion_cluster_* Prometheus exposition
+//
+// On SIGINT/SIGTERM the router stops accepting ingest, flushes every
+// shard's forward queue, and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/cluster"
+	"github.com/rfid-lion/lion/internal/dataset"
+	"github.com/rfid-lion/lion/internal/obs"
+	"github.com/rfid-lion/lion/internal/wire"
+)
+
+// logx is the router's structured logger; one JSON object per line on stderr.
+var logx = obs.NewLogger(os.Stderr)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lionroute:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lionroute", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		cfgPath = fs.String("config", "", "cluster config JSON (required; see DESIGN.md section 12)")
+		forward = fs.String("forward", "wire",
+			"codec for shard-bound batches: wire (binary frames) or ndjson")
+		drain = fs.Duration("drain", 10*time.Second, "shutdown queue-flush timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cfgPath == "" {
+		return errors.New("-config is required")
+	}
+	cfg, err := cluster.LoadConfig(*cfgPath)
+	if err != nil {
+		return err
+	}
+	var codec dataset.Codec
+	switch *forward {
+	case "wire":
+		codec = wire.Codec{}
+	case "ndjson":
+		codec = dataset.NDJSON{}
+	default:
+		return fmt.Errorf("unknown -forward codec %q (want wire or ndjson)", *forward)
+	}
+
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
+	rt, err := cluster.New(*cfg, cluster.Options{
+		Registry: reg,
+		Codec:    codec,
+		Logger:   logx,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logx.Info("listening",
+		"addr", ln.Addr().String(),
+		"shards", len(cfg.Shards),
+		"forward", codec.Name(),
+		"queue_samples", cfg.QueueSamples,
+		"config", *cfgPath)
+
+	srv := &http.Server{
+		Handler:           rt.Routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		rt.Close(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logx.Warn("http shutdown", "err", err)
+	}
+	// Close flushes every queued batch to its shard before returning, so a
+	// clean shutdown loses nothing that was acknowledged to a client.
+	if err := rt.Close(shutCtx); err != nil && !errors.Is(err, cluster.ErrClosed) {
+		return fmt.Errorf("flush queues: %w", err)
+	}
+	logx.Info("drained", "shards", len(cfg.Shards))
+	return nil
+}

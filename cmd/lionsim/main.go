@@ -23,6 +23,7 @@ import (
 	"github.com/rfid-lion/lion/internal/obs"
 	"github.com/rfid-lion/lion/internal/sim"
 	"github.com/rfid-lion/lion/internal/traject"
+	"github.com/rfid-lion/lion/internal/wire"
 )
 
 func main() {
@@ -39,7 +40,7 @@ func run(args []string) error {
 			"trajectory: linear, threeline, twoline, circle")
 		out    = fs.String("o", "", "output path (default stdout)")
 		format = fs.String("format", "csv",
-			"output format: csv, or ndjson (liond ingest lines)")
+			"output format: csv, ndjson (liond ingest lines), or wire (binary ingest frames)")
 		tagID = fs.String("tag", "T1", "tag id (stamped on ndjson output)")
 		seed  = fs.Int64("seed", 1, "random seed")
 		noise = fs.Float64("noise", sim.DefaultPhaseNoiseStd,
@@ -154,8 +155,14 @@ func run(args []string) error {
 		err = dataset.Write(w, samples)
 	case "ndjson":
 		err = dataset.WriteNDJSON(w, tag.ID, samples)
+	case "wire":
+		tagged := make([]dataset.TaggedSample, len(samples))
+		for i, sm := range samples {
+			tagged[i] = dataset.Tagged(tag.ID, sm)
+		}
+		err = wire.Codec{}.Encode(w, tagged)
 	default:
-		err = fmt.Errorf("unknown format %q (want csv or ndjson)", *format)
+		err = fmt.Errorf("unknown format %q (want csv, ndjson or wire)", *format)
 	}
 	if err != nil {
 		return err

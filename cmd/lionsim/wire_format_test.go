@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/rfid-lion/lion/internal/dataset"
+	"github.com/rfid-lion/lion/internal/wire"
+)
+
+// TestRunWireFormat checks that -format wire produces frames the wire codec
+// decodes back to the same samples -format ndjson would carry.
+func TestRunWireFormat(t *testing.T) {
+	dir := t.TempDir()
+	wirePath := filepath.Join(dir, "scan.wire")
+	ndPath := filepath.Join(dir, "scan.ndjson")
+	common := []string{"-scenario", "linear", "-rate", "50", "-tag", "W1", "-seed", "42"}
+	if err := run(append(common, "-format", "wire", "-o", wirePath)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(common, "-format", "ndjson", "-o", ndPath)); err != nil {
+		t.Fatal(err)
+	}
+
+	wf, err := os.Open(wirePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wf.Close()
+	fromWire, err := wire.DecodeIngest(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := os.Open(ndPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nf.Close()
+	fromND, err := dataset.DecodeIngest(nf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(fromWire) == 0 || len(fromWire) != len(fromND) {
+		t.Fatalf("wire %d samples, ndjson %d", len(fromWire), len(fromND))
+	}
+	for i := range fromWire {
+		if fromWire[i] != fromND[i] {
+			t.Fatalf("sample %d differs: wire %+v ndjson %+v", i, fromWire[i], fromND[i])
+		}
+		if fromWire[i].Tag != "W1" {
+			t.Fatalf("sample %d tag %q, want W1", i, fromWire[i].Tag)
+		}
+	}
+}

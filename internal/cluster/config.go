@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"time"
+)
+
+// ShardConfig names one liond shard and where to reach it.
+type ShardConfig struct {
+	// ID is the stable shard identity the ring hashes on. Renaming a shard
+	// moves every tag it owns; changing only its URL does not.
+	ID string `json:"id"`
+	// URL is the shard's HTTP base, e.g. "http://10.0.0.7:8077".
+	URL string `json:"url"`
+}
+
+// Config is the static cluster membership and tuning, loaded from a JSON
+// file at router startup. Membership is deliberately not dynamic: the ring
+// must be identical across router restarts or tags would re-shard and lose
+// their window state (see the package comment).
+type Config struct {
+	// Shards is the ring membership. Required, order-insensitive.
+	Shards []ShardConfig `json:"shards"`
+	// Replicas is the virtual-node count per shard; 0 = DefaultReplicas.
+	Replicas int `json:"replicas,omitempty"`
+	// QueueSamples bounds each shard's forward queue in samples. A batch
+	// that would push a queue past this is rejected whole (counted in
+	// lion_cluster_rejected_total{reason="queue_full"}). 0 = 65536.
+	QueueSamples int `json:"queue_samples,omitempty"`
+	// BatchSamples caps how many queued samples one forward POST coalesces.
+	// 0 = 4096 (one wire frame).
+	BatchSamples int `json:"batch_samples,omitempty"`
+	// HealthInterval is the /readyz probe period. 0 = 500ms; negative
+	// disables health checking (shards stay in their initial healthy state —
+	// used by tests that drive state transitions directly).
+	HealthInterval Duration `json:"health_interval,omitempty"`
+	// HealthTimeout bounds one probe. 0 = 2s.
+	HealthTimeout Duration `json:"health_timeout,omitempty"`
+	// FailThreshold is how many consecutive failed probes eject a shard.
+	// 0 = 3.
+	FailThreshold int `json:"fail_threshold,omitempty"`
+	// ForwardTimeout bounds one forward POST. 0 = 10s.
+	ForwardTimeout Duration `json:"forward_timeout,omitempty"`
+	// ForwardAttempts is how many times a batch is POSTed before it is
+	// dropped (counted in lion_cluster_forward_errors_total). 0 = 3.
+	ForwardAttempts int `json:"forward_attempts,omitempty"`
+}
+
+// Duration is a time.Duration that unmarshals from JSON strings like
+// "500ms" or "2s" (and, for convenience, from bare numbers of nanoseconds).
+type Duration time.Duration
+
+// UnmarshalJSON parses either a Go duration string or a nanosecond number.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	switch x := v.(type) {
+	case string:
+		dur, err := time.ParseDuration(x)
+		if err != nil {
+			return fmt.Errorf("cluster: duration %q: %w", x, err)
+		}
+		*d = Duration(dur)
+	case float64:
+		*d = Duration(time.Duration(x))
+	default:
+		return fmt.Errorf("cluster: duration must be a string or number, got %T", v)
+	}
+	return nil
+}
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// Defaulted accessors, mirroring stream.Config's style.
+
+func (c Config) replicas() int { return c.Replicas } // NewRing defaults 0
+
+func (c Config) queueSamples() int {
+	if c.QueueSamples <= 0 {
+		return 65536
+	}
+	return c.QueueSamples
+}
+
+func (c Config) batchSamples() int {
+	if c.BatchSamples <= 0 {
+		return 4096
+	}
+	return c.BatchSamples
+}
+
+func (c Config) healthInterval() time.Duration {
+	if c.HealthInterval == 0 {
+		return 500 * time.Millisecond
+	}
+	return time.Duration(c.HealthInterval)
+}
+
+func (c Config) healthTimeout() time.Duration {
+	if c.HealthTimeout <= 0 {
+		return 2 * time.Second
+	}
+	return time.Duration(c.HealthTimeout)
+}
+
+func (c Config) failThreshold() int {
+	if c.FailThreshold <= 0 {
+		return 3
+	}
+	return c.FailThreshold
+}
+
+func (c Config) forwardTimeout() time.Duration {
+	if c.ForwardTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return time.Duration(c.ForwardTimeout)
+}
+
+func (c Config) forwardAttempts() int {
+	if c.ForwardAttempts <= 0 {
+		return 3
+	}
+	return c.ForwardAttempts
+}
+
+// Validate checks the membership: at least one shard, unique non-empty ids,
+// absolute http/https URLs.
+func (c Config) Validate() error {
+	if len(c.Shards) == 0 {
+		return fmt.Errorf("cluster: config has no shards")
+	}
+	seen := make(map[string]bool, len(c.Shards))
+	for i, s := range c.Shards {
+		if s.ID == "" {
+			return fmt.Errorf("cluster: shard %d has no id", i)
+		}
+		if seen[s.ID] {
+			return fmt.Errorf("cluster: duplicate shard id %q", s.ID)
+		}
+		seen[s.ID] = true
+		u, err := url.Parse(s.URL)
+		if err != nil {
+			return fmt.Errorf("cluster: shard %q url: %w", s.ID, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("cluster: shard %q url %q must be absolute http(s)", s.ID, s.URL)
+		}
+	}
+	return nil
+}
+
+// ParseConfig decodes and validates a JSON cluster config. Unknown fields
+// are rejected so a typo in a tuning knob fails loudly at startup.
+func ParseConfig(r io.Reader) (*Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cfg Config
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("cluster: parse config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// LoadConfig reads the cluster config from a file.
+func LoadConfig(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cfg, err := ParseConfig(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader(`{
+		"shards": [
+			{"id": "s1", "url": "http://127.0.0.1:9001"},
+			{"id": "s2", "url": "http://127.0.0.1:9002/"}
+		],
+		"queue_samples": 1000,
+		"health_interval": "250ms",
+		"forward_timeout": 1000000000
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Shards) != 2 || cfg.Shards[0].ID != "s1" {
+		t.Fatalf("shards = %+v", cfg.Shards)
+	}
+	if cfg.queueSamples() != 1000 {
+		t.Errorf("queueSamples = %d", cfg.queueSamples())
+	}
+	if cfg.healthInterval() != 250*time.Millisecond {
+		t.Errorf("healthInterval = %v", cfg.healthInterval())
+	}
+	if cfg.forwardTimeout() != time.Second {
+		t.Errorf("forwardTimeout = %v (numeric ns form)", cfg.forwardTimeout())
+	}
+}
+
+func TestParseConfigDefaults(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader(`{"shards":[{"id":"a","url":"http://h:1"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.queueSamples() != 65536 || cfg.batchSamples() != 4096 {
+		t.Errorf("queue/batch defaults: %d/%d", cfg.queueSamples(), cfg.batchSamples())
+	}
+	if cfg.healthInterval() != 500*time.Millisecond || cfg.failThreshold() != 3 {
+		t.Errorf("health defaults: %v/%d", cfg.healthInterval(), cfg.failThreshold())
+	}
+	if cfg.forwardAttempts() != 3 || cfg.forwardTimeout() != 10*time.Second {
+		t.Errorf("forward defaults: %d/%v", cfg.forwardAttempts(), cfg.forwardTimeout())
+	}
+}
+
+func TestParseConfigRejects(t *testing.T) {
+	cases := map[string]string{
+		"no shards":      `{"shards": []}`,
+		"empty id":       `{"shards":[{"id":"","url":"http://h:1"}]}`,
+		"dup id":         `{"shards":[{"id":"a","url":"http://h:1"},{"id":"a","url":"http://h:2"}]}`,
+		"relative url":   `{"shards":[{"id":"a","url":"localhost:9001"}]}`,
+		"bad scheme":     `{"shards":[{"id":"a","url":"ftp://h:1"}]}`,
+		"unknown field":  `{"shards":[{"id":"a","url":"http://h:1"}], "qeue_samples": 5}`,
+		"bad duration":   `{"shards":[{"id":"a","url":"http://h:1"}], "health_interval": "fast"}`,
+		"duration array": `{"shards":[{"id":"a","url":"http://h:1"}], "health_interval": []}`,
+	}
+	for name, body := range cases {
+		if _, err := ParseConfig(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted %s", name, body)
+		}
+	}
+}
+
+func TestHealthIntervalDisable(t *testing.T) {
+	cfg := Config{HealthInterval: Duration(-1)}
+	if cfg.healthInterval() > 0 {
+		t.Errorf("negative interval should disable health checks, got %v", cfg.healthInterval())
+	}
+}

@@ -1,0 +1,19 @@
+// Package cluster shards the streaming localizer horizontally: a Router
+// consistent-hashes tag ids onto a static ring of liond shards, forwards
+// ingest batches over persistent connections with per-shard bounded queues
+// and backpressure, and fans estimate/alert queries to the owning shards.
+//
+// The design invariant is per-tag session affinity: every sample of a tag
+// lands on exactly one shard, in arrival order, so a shard's per-tag sliding
+// window — and therefore its estimates — are bit-identical to what a single
+// liond ingesting the same stream would produce. That is why the ring is
+// static (membership comes from a config file, not from failure detection):
+// re-hashing a live tag onto another shard would split its window across
+// processes and silently change its estimates. Health checking instead
+// gates traffic — an unreachable shard is ejected (its samples are rejected
+// with a counter, its queries fail fast) and readmitted when its /readyz
+// recovers; a draining or alert-degraded shard stays query-only.
+//
+// See DESIGN.md section 12 for the wire protocol, the ring parameters, the
+// backpressure semantics, and the failure-mode table.
+package cluster

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the number of virtual nodes per shard on the hash
+// ring. 128 points per shard keeps the expected load imbalance across a
+// handful of shards within a few percent while the ring stays small enough
+// to search in a handful of cache lines.
+const DefaultReplicas = 128
+
+// Ring is an immutable consistent-hash ring mapping tag ids to shard
+// indices. Every shard contributes `replicas` virtual points; a tag is owned
+// by the shard of the first point clockwise of the tag's hash. Lookups are
+// allocation-free.
+type Ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds the ring for the given shard ids. Ids must be non-empty
+// and unique; replicas <= 0 selects DefaultReplicas.
+func NewRing(shardIDs []string, replicas int) (*Ring, error) {
+	if len(shardIDs) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one shard")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(shardIDs))
+	points := make([]ringPoint, 0, len(shardIDs)*replicas)
+	for i, id := range shardIDs {
+		if id == "" {
+			return nil, fmt.Errorf("cluster: shard %d has an empty id", i)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate shard id %q", id)
+		}
+		seen[id] = true
+		for rep := 0; rep < replicas; rep++ {
+			// The vnode key is "id#rep"; the separator keeps ids like "s1"
+			// and "s11" from colliding on concatenation boundaries.
+			h := fnv1a(id + "#" + strconv.Itoa(rep))
+			points = append(points, ringPoint{hash: h, shard: i})
+		}
+	}
+	sort.Slice(points, func(a, b int) bool {
+		if points[a].hash != points[b].hash {
+			return points[a].hash < points[b].hash
+		}
+		// Deterministic tie-break so ring construction is order-independent.
+		return points[a].shard < points[b].shard
+	})
+	return &Ring{points: points}, nil
+}
+
+// Owner returns the index of the shard owning the tag.
+func (r *Ring) Owner(tag string) int {
+	h := fnv1a(tag)
+	pts := r.points
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].hash >= h })
+	if i == len(pts) {
+		i = 0
+	}
+	return pts[i].shard
+}
+
+// fnv1a is the 64-bit FNV-1a hash with an avalanche finalizer, inlined so
+// Owner never allocates. Raw FNV-1a leaves the high bits of short sequential
+// keys ("TAG-0001", "TAG-0002", ...) dominated by their shared prefix — the
+// final byte is multiplied by the 40-bit prime only once — which clusters
+// ring positions badly; the murmur3-style finalizer spreads every input bit
+// across the full word.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndOrderIndependent(t *testing.T) {
+	a, err := NewRing([]string{"s1", "s2", "s3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"s3", "s1", "s2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"s1", "s2", "s3"}
+	idsB := []string{"s3", "s1", "s2"}
+	for i := 0; i < 1000; i++ {
+		tag := fmt.Sprintf("TAG-%04d", i)
+		if ids[a.Owner(tag)] != idsB[b.Owner(tag)] {
+			t.Fatalf("tag %s owner differs by construction order", tag)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	ring, err := NewRing([]string{"s1", "s2", "s3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	const tags = 9000
+	for i := 0; i < tags; i++ {
+		counts[ring.Owner(fmt.Sprintf("EPC-%06d", i))]++
+	}
+	for i, c := range counts {
+		// Expect ~3000 each; 128 vnodes keeps the skew well under 2x.
+		if c < tags/6 || c > tags/2 {
+			t.Errorf("shard %d owns %d of %d tags — ring badly unbalanced: %v", i, c, tags, counts)
+		}
+	}
+}
+
+func TestRingStableUnderLookup(t *testing.T) {
+	ring, err := NewRing([]string{"alpha", "beta"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tag := fmt.Sprintf("T%d", i)
+		first := ring.Owner(tag)
+		for j := 0; j < 5; j++ {
+			if ring.Owner(tag) != first {
+				t.Fatalf("tag %s owner not stable", tag)
+			}
+		}
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty shard id accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate shard id accepted")
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	ring, err := NewRing([]string{"s1", "s2", "s3", "s4", "s5"}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ring.Owner("E280689400005012")
+	}
+}

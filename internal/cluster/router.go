@@ -1,0 +1,490 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/dataset"
+	"github.com/rfid-lion/lion/internal/obs"
+	"github.com/rfid-lion/lion/internal/wire"
+)
+
+// ShardState is a shard's traffic eligibility as seen by the router.
+type ShardState int32
+
+const (
+	// ShardHealthy receives ingest and queries.
+	ShardHealthy ShardState = iota
+	// ShardDraining is alive but leaving (or degraded by a critical alert):
+	// queries are still served from it, new samples are rejected.
+	ShardDraining
+	// ShardEjected is unreachable: ingest is rejected and queries fail fast
+	// until /readyz recovers and the health checker readmits it.
+	ShardEjected
+)
+
+// String names the state for logs and status documents.
+func (s ShardState) String() string {
+	switch s {
+	case ShardHealthy:
+		return "healthy"
+	case ShardDraining:
+		return "draining"
+	case ShardEjected:
+		return "ejected"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// ErrClosed is returned by Ingest after Close.
+var ErrClosed = errors.New("cluster: router closed")
+
+// Options tune a Router beyond the cluster config.
+type Options struct {
+	// Registry receives the lion_cluster_* metrics; nil means a private one.
+	Registry *obs.Registry
+	// Codec encodes forwarded batches; nil means the binary wire codec.
+	// Shards must accept the chosen codec (liond takes wire unless started
+	// with -wire=false, and always takes NDJSON).
+	Codec dataset.Codec
+	// Client performs forward and query requests; nil builds one with
+	// keep-alive connections per shard. Health probes always use a separate
+	// short-timeout client.
+	Client *http.Client
+	// Logger receives state transitions; nil silences them.
+	Logger *obs.Logger
+}
+
+// Router owns the ring, the per-shard forward queues, and the health
+// checker. Create with New, serve its Routes, stop with Close.
+type Router struct {
+	cfg    Config
+	ring   *Ring
+	shards []*shard
+	reg    *obs.Registry
+	codec  dataset.Codec
+	client *http.Client
+	probe  *http.Client
+	log    *obs.Logger
+
+	forwarded      *obs.Counter
+	forwardErrors  *obs.Counter
+	forwardLatency *obs.Histogram
+	rejQueueFull   *obs.Counter
+	rejDraining    *obs.Counter
+	rejDown        *obs.Counter
+	ejections      *obs.Counter
+	readmissions   *obs.Counter
+
+	closed atomic.Bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// shard is the router-side state of one liond instance.
+type shard struct {
+	id   string
+	base string // URL base without trailing slash
+
+	queue  chan []dataset.TaggedSample
+	queued atomic.Int64 // samples currently queued (gauge backing)
+	state  atomic.Int32 // ShardState
+
+	failures int // consecutive probe failures; health goroutine only
+
+	queueGauge *obs.Gauge
+	stateGauge *obs.Gauge
+}
+
+func (s *shard) State() ShardState { return ShardState(s.state.Load()) }
+
+func (s *shard) setState(st ShardState) {
+	s.state.Store(int32(st))
+	s.stateGauge.Set(float64(st))
+}
+
+// New validates the config, builds the ring, registers metrics, and starts
+// the per-shard forwarders plus (unless disabled) the health checker.
+func New(cfg Config, opts Options) (*Router, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ids := make([]string, len(cfg.Shards))
+	for i, s := range cfg.Shards {
+		ids[i] = s.ID
+	}
+	ring, err := NewRing(ids, cfg.replicas())
+	if err != nil {
+		return nil, err
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	codec := opts.Codec
+	if codec == nil {
+		codec = wire.Codec{}
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.forwardTimeout()}
+	}
+	rt := &Router{
+		cfg:    cfg,
+		ring:   ring,
+		reg:    reg,
+		codec:  codec,
+		client: client,
+		probe:  &http.Client{Timeout: cfg.healthTimeout()},
+		log:    opts.Logger,
+		stop:   make(chan struct{}),
+
+		forwarded: reg.Counter("lion_cluster_forwarded_samples_total",
+			"Samples successfully forwarded to a shard."),
+		forwardErrors: reg.Counter("lion_cluster_forward_errors_total",
+			"Samples dropped because a forward POST kept failing."),
+		forwardLatency: reg.Histogram("lion_cluster_forward_latency_seconds",
+			"Wall time of one successful forward POST.", obs.DefBuckets),
+		ejections: reg.Counter("lion_cluster_ejections_total",
+			"Shards ejected after consecutive failed health probes."),
+		readmissions: reg.Counter("lion_cluster_readmissions_total",
+			"Ejected shards readmitted after /readyz recovered."),
+	}
+	rejected := reg.CounterVec("lion_cluster_rejected_total",
+		"Samples rejected at the router, by reason.", "reason")
+	rt.rejQueueFull = rejected.With("queue_full")
+	rt.rejDraining = rejected.With("draining")
+	rt.rejDown = rejected.With("down")
+	reg.GaugeFunc("lion_cluster_shards", "Shards in the configured ring.", func() float64 {
+		return float64(len(cfg.Shards))
+	})
+	queueGauge := reg.GaugeVec("lion_cluster_queue_samples",
+		"Samples waiting in a shard's forward queue.", "shard")
+	stateGauge := reg.GaugeVec("lion_cluster_shard_state",
+		"Shard state: 0 healthy, 1 draining (query-only), 2 ejected.", "shard")
+
+	// Queue capacity counts batches; the sample bound is enforced on the
+	// atomic counter, so the channel just needs room for a realistic number
+	// of distinct pending batches.
+	depth := max(16, cfg.queueSamples()/64)
+	for _, sc := range cfg.Shards {
+		s := &shard{
+			id:    sc.ID,
+			base:  strings.TrimRight(sc.URL, "/"),
+			queue: make(chan []dataset.TaggedSample, depth),
+			// metriclint:bounded shard ids come from the static cluster config
+			queueGauge: queueGauge.With(sc.ID),
+			// metriclint:bounded shard ids come from the static cluster config
+			stateGauge: stateGauge.With(sc.ID),
+		}
+		s.setState(ShardHealthy)
+		rt.shards = append(rt.shards, s)
+	}
+	for _, s := range rt.shards {
+		rt.wg.Add(1)
+		go rt.forwardLoop(s)
+	}
+	if iv := cfg.healthInterval(); iv > 0 {
+		rt.wg.Add(1)
+		go rt.healthLoop(iv)
+	}
+	return rt, nil
+}
+
+// Registry returns the metrics registry backing the router's counters.
+func (rt *Router) Registry() *obs.Registry { return rt.reg }
+
+// Owner returns the shard id owning the tag — exposed for tests and the
+// cluster status document.
+func (rt *Router) Owner(tag string) string { return rt.shards[rt.ring.Owner(tag)].id }
+
+// IngestResult reports what happened to one decoded ingest batch.
+type IngestResult struct {
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+}
+
+// Ingest partitions samples by ring owner and enqueues each group on its
+// shard's forward queue. Samples for draining or ejected shards, and groups
+// that would overflow a shard's bounded queue, are rejected whole and
+// counted — the router never blocks an ingest request on a slow shard.
+func (rt *Router) Ingest(samples []dataset.TaggedSample) (IngestResult, error) {
+	var res IngestResult
+	if rt.closed.Load() {
+		return res, ErrClosed
+	}
+	if len(samples) == 0 {
+		return res, nil
+	}
+	groups := make([][]dataset.TaggedSample, len(rt.shards))
+	for _, ts := range samples {
+		owner := rt.ring.Owner(ts.Tag)
+		groups[owner] = append(groups[owner], ts)
+	}
+	for i, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		s := rt.shards[i]
+		n := len(group)
+		switch s.State() {
+		case ShardDraining:
+			rt.rejDraining.Add(uint64(n))
+			res.Rejected += n
+			continue
+		case ShardEjected:
+			rt.rejDown.Add(uint64(n))
+			res.Rejected += n
+			continue
+		}
+		if int(s.queued.Load())+n > rt.cfg.queueSamples() {
+			rt.rejQueueFull.Add(uint64(n))
+			res.Rejected += n
+			continue
+		}
+		select {
+		case s.queue <- group:
+			s.queueGauge.Set(float64(s.queued.Add(int64(n))))
+			res.Accepted += n
+		default:
+			rt.rejQueueFull.Add(uint64(n))
+			res.Rejected += n
+		}
+	}
+	return res, nil
+}
+
+// forwardLoop drains one shard's queue, coalescing adjacent batches up to
+// BatchSamples per POST. It exits when the queue is closed and empty.
+func (rt *Router) forwardLoop(s *shard) {
+	defer rt.wg.Done()
+	limit := rt.cfg.batchSamples()
+	var batch []dataset.TaggedSample
+	for first := range s.queue {
+		batch = append(batch[:0], first...)
+	coalesce:
+		for len(batch) < limit {
+			select {
+			case next, ok := <-s.queue:
+				if !ok {
+					break coalesce
+				}
+				batch = append(batch, next...)
+			default:
+				break coalesce
+			}
+		}
+		rt.post(s, batch)
+		s.queueGauge.Set(float64(s.queued.Add(int64(-len(batch)))))
+	}
+}
+
+// post forwards one batch, retrying a few times before dropping it. Order
+// within the shard is preserved regardless: post returns only when the batch
+// succeeded or was abandoned, and batches after a dropped one still arrive
+// after it would have.
+func (rt *Router) post(s *shard, batch []dataset.TaggedSample) {
+	var buf bytes.Buffer
+	if err := rt.codec.Encode(&buf, batch); err != nil {
+		// Unencodable batches cannot happen for validated ingest samples;
+		// count and drop rather than wedging the queue.
+		rt.forwardErrors.Add(uint64(len(batch)))
+		rt.logf("forward encode failed", "shard", s.id, "err", err.Error())
+		return
+	}
+	body := buf.Bytes()
+	attempts := rt.cfg.forwardAttempts()
+	for attempt := 1; ; attempt++ {
+		begin := time.Now()
+		err := rt.postOnce(s, body)
+		if err == nil {
+			rt.forwardLatency.Observe(time.Since(begin).Seconds())
+			rt.forwarded.Add(uint64(len(batch)))
+			return
+		}
+		if attempt >= attempts {
+			rt.forwardErrors.Add(uint64(len(batch)))
+			rt.logf("forward dropped batch", "shard", s.id, "samples", len(batch), "err", err.Error())
+			return
+		}
+		select {
+		case <-time.After(time.Duration(attempt) * 50 * time.Millisecond):
+		case <-rt.stop:
+			// Shutdown: one immediate final try, then give up.
+		}
+	}
+}
+
+// postOnce performs a single forward POST.
+func (rt *Router) postOnce(s *shard, body []byte) error {
+	req, err := http.NewRequest(http.MethodPost, s.base+"/v1/samples", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", rt.codec.ContentType())
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard %s: status %d", s.id, resp.StatusCode)
+	}
+	return nil
+}
+
+// healthLoop probes every shard's /readyz on a fixed period and drives the
+// ejection/readmission state machine.
+func (rt *Router) healthLoop(interval time.Duration) {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+			for _, s := range rt.shards {
+				rt.probeShard(s)
+			}
+		}
+	}
+}
+
+// probeShard classifies one /readyz answer:
+//
+//	200                      -> healthy (readmits an ejected shard)
+//	503 status "draining"    -> draining: alive, query-only, never ejected
+//	503 status "critical-alert" -> treated as draining: the shard's solves
+//	                            are suspect but its estimates stay queryable
+//	anything else            -> failure; FailThreshold consecutive ones eject
+func (rt *Router) probeShard(s *shard) {
+	ok, status := rt.readyz(s)
+	prev := s.State()
+	switch {
+	case ok:
+		s.failures = 0
+		if prev != ShardHealthy {
+			if prev == ShardEjected {
+				rt.readmissions.Inc()
+			}
+			s.setState(ShardHealthy)
+			rt.logf("shard healthy", "shard", s.id, "was", prev.String())
+		}
+	case status == "draining" || status == "critical-alert":
+		s.failures = 0
+		if prev != ShardDraining {
+			if prev == ShardEjected {
+				rt.readmissions.Inc()
+			}
+			s.setState(ShardDraining)
+			rt.logf("shard query-only", "shard", s.id, "status", status)
+		}
+	default:
+		s.failures++
+		if s.failures >= rt.cfg.failThreshold() && prev != ShardEjected {
+			s.setState(ShardEjected)
+			rt.ejections.Inc()
+			rt.logf("shard ejected", "shard", s.id, "failures", s.failures)
+		}
+	}
+}
+
+// readyz performs one probe. ok means HTTP 200; otherwise status carries the
+// shard's self-reported state ("draining", "critical-alert") when the body
+// was parseable, or "" for transport errors and foreign answers.
+func (rt *Router) readyz(s *shard) (ok bool, status string) {
+	resp, err := rt.probe.Get(s.base + "/readyz")
+	if err != nil {
+		return false, ""
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status string `json:"status"`
+	}
+	json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body)
+	if resp.StatusCode == http.StatusOK {
+		return true, body.Status
+	}
+	return false, body.Status
+}
+
+// ShardStatus is one shard's row in the cluster status document.
+type ShardStatus struct {
+	ID      string `json:"id"`
+	URL     string `json:"url"`
+	State   string `json:"state"`
+	Queued  int64  `json:"queued_samples"`
+	MaxQ    int    `json:"queue_capacity_samples"`
+	Healthy bool   `json:"accepts_ingest"`
+}
+
+// Status snapshots every shard for /v1/cluster and tests.
+func (rt *Router) Status() []ShardStatus {
+	out := make([]ShardStatus, len(rt.shards))
+	for i, s := range rt.shards {
+		st := s.State()
+		out[i] = ShardStatus{
+			ID:      s.id,
+			URL:     s.base,
+			State:   st.String(),
+			Queued:  s.queued.Load(),
+			MaxQ:    rt.cfg.queueSamples(),
+			Healthy: st == ShardHealthy,
+		}
+	}
+	return out
+}
+
+// Ready reports whether at least one shard accepts ingest.
+func (rt *Router) Ready() bool {
+	for _, s := range rt.shards {
+		if s.State() == ShardHealthy {
+			return true
+		}
+	}
+	return false
+}
+
+// Close stops ingest, halts the health checker, drains every forward queue
+// to its shard, and waits for the forwarders (or ctx). Queued samples are
+// flushed, not dropped: Close returning nil means every accepted sample was
+// handed to its shard (or counted as a forward error).
+func (rt *Router) Close(ctx context.Context) error {
+	if rt.closed.Swap(true) {
+		return ErrClosed
+	}
+	close(rt.stop)
+	for _, s := range rt.shards {
+		close(s.queue)
+	}
+	done := make(chan struct{})
+	go func() {
+		rt.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// logf emits one structured log line when a logger is configured.
+func (rt *Router) logf(msg string, kv ...any) {
+	if rt.log != nil {
+		rt.log.Info(msg, kv...)
+	}
+}

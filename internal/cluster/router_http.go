@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"github.com/rfid-lion/lion/internal/dataset"
+	"github.com/rfid-lion/lion/internal/wire"
+)
+
+// maxIngestBody bounds one router ingest request, mirroring liond.
+const maxIngestBody = 64 << 20
+
+// Routes builds the router's HTTP mux:
+//
+//	POST /v1/samples               ingest (NDJSON or binary wire frames)
+//	GET  /v1/tags                  union of tag ids across live shards
+//	GET  /v1/tags/{id}/estimate    proxied to the owning shard
+//	GET  /v1/alerts                per-shard alert documents
+//	GET  /v1/cluster               shard states and queue depths
+//	GET  /healthz                  router liveness
+//	GET  /readyz                   503 until at least one shard takes ingest
+//	GET  /metrics                  lion_cluster_* Prometheus exposition
+func (rt *Router) Routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/samples", rt.handleIngest)
+	mux.HandleFunc("GET /v1/tags", rt.handleTags)
+	mux.HandleFunc("GET /v1/tags/{id}/estimate", rt.handleEstimate)
+	mux.HandleFunc("GET /v1/alerts", rt.handleAlerts)
+	mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
+	mux.HandleFunc("GET /healthz", rt.handleHealth)
+	mux.HandleFunc("GET /readyz", rt.handleReady)
+	mux.Handle("GET /metrics", rt.reg.Handler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// ingestCodecs is the negotiation list: NDJSON first so it is the fallback
+// for curl-style clients, wire matched exactly by content type.
+var ingestCodecs = []dataset.Codec{dataset.NDJSON{}, wire.Codec{}}
+
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	codec := dataset.SelectCodec(ingestCodecs, r.Header.Get("Content-Type"))
+	samples, err := codec.Decode(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := rt.Ingest(samples)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (rt *Router) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	tag := r.PathValue("id")
+	s := rt.shards[rt.ring.Owner(tag)]
+	if s.State() == ShardEjected {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("shard %s owning tag %q is ejected", s.id, tag))
+		return
+	}
+	rt.proxy(w, s, "/v1/tags/"+tag+"/estimate")
+}
+
+// proxy forwards one GET to a shard and relays status, content type, and
+// body verbatim.
+func (rt *Router) proxy(w http.ResponseWriter, s *shard, path string) {
+	resp, err := rt.client.Get(s.base + path)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("shard %s: %w", s.id, err))
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// fanOut issues one GET per non-ejected shard concurrently and returns each
+// shard's body (or error) keyed by shard id.
+func (rt *Router) fanOut(path string) map[string]json.RawMessage {
+	out := make(map[string]json.RawMessage, len(rt.shards))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, s := range rt.shards {
+		if s.State() == ShardEjected {
+			out[s.id] = errJSON(fmt.Errorf("shard ejected"))
+			continue
+		}
+		wg.Add(1)
+		go func(s *shard) {
+			defer wg.Done()
+			body, err := rt.get(s, path)
+			if err != nil {
+				body = errJSON(err)
+			}
+			mu.Lock()
+			out[s.id] = body
+			mu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+	return out
+}
+
+// get fetches one shard endpoint, insisting on a 200 JSON answer.
+func (rt *Router) get(s *shard, path string) (json.RawMessage, error) {
+	resp, err := rt.client.Get(s.base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxIngestBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	if !json.Valid(body) {
+		return nil, fmt.Errorf("shard returned non-JSON body")
+	}
+	return body, nil
+}
+
+func errJSON(err error) json.RawMessage {
+	b, _ := json.Marshal(map[string]string{"error": err.Error()})
+	return b
+}
+
+func (rt *Router) handleTags(w http.ResponseWriter, r *http.Request) {
+	merged := make(map[string]bool)
+	for _, body := range rt.fanOut("/v1/tags") {
+		var doc struct {
+			Tags []string `json:"tags"`
+		}
+		if json.Unmarshal(body, &doc) == nil {
+			for _, t := range doc.Tags {
+				merged[t] = true
+			}
+		}
+	}
+	tags := make([]string, 0, len(merged))
+	for t := range merged {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	writeJSON(w, http.StatusOK, map[string][]string{"tags": tags})
+}
+
+func (rt *Router) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"shards": rt.fanOut("/v1/alerts")})
+}
+
+func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"shards": rt.Status()})
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	if rt.closed.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if !rt.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no-healthy-shards"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"strings"
+)
+
+// Codec is one ingest encoding of tagged sample batches. The two
+// implementations are NDJSON (this package — the compatibility format) and
+// the binary frame format (internal/wire — the hot-path format); liond and
+// lionroute pick between them per request by Content-Type.
+//
+// Decode returns only validated samples: non-empty tags, finite floats, and
+// timestamps within ±MaxIngestTimeS, never more than MaxIngestSamples of
+// them. Encode output must round-trip through Decode bit-exactly — both
+// codecs preserve the float64 payload (NDJSON via Go's shortest-round-trip
+// float formatting, wire via raw IEEE 754 bits).
+type Codec interface {
+	// Name identifies the codec in flags and logs ("ndjson", "wire").
+	Name() string
+	// ContentType is the exact HTTP content type the codec serves.
+	ContentType() string
+	// Decode parses one request body.
+	Decode(r io.Reader) ([]TaggedSample, error)
+	// Encode writes samples in this codec's format.
+	Encode(w io.Writer, samples []TaggedSample) error
+}
+
+// NDJSONContentType is the content type of newline-delimited JSON ingest
+// bodies. Requests with no content type (or any other non-wire type) are
+// treated as NDJSON for compatibility with curl-style clients.
+const NDJSONContentType = "application/x-ndjson"
+
+// NDJSON is the JSON-lines Codec: one sample object or {"samples": [...]}
+// envelope per line, exactly what DecodeIngest accepts.
+type NDJSON struct{}
+
+// Name identifies the codec in flags and logs.
+func (NDJSON) Name() string { return "ndjson" }
+
+// ContentType is the HTTP content type the codec serves.
+func (NDJSON) ContentType() string { return NDJSONContentType }
+
+// Decode parses NDJSON sample lines and envelopes.
+func (NDJSON) Decode(r io.Reader) ([]TaggedSample, error) { return DecodeIngest(r) }
+
+// Encode writes samples as one {"samples": [...]} envelope line, the densest
+// of the shapes Decode accepts.
+func (NDJSON) Encode(w io.Writer, samples []TaggedSample) error {
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(struct {
+		Samples []TaggedSample `json:"samples"`
+	}{samples}); err != nil {
+		return fmt.Errorf("dataset: encode ingest envelope: %w", err)
+	}
+	return bw.Flush()
+}
+
+// SelectCodec picks the codec whose ContentType matches the request's
+// Content-Type header (parameters like charset are ignored). Any other
+// content type — including none at all — falls back to the first codec in
+// the list, by convention the NDJSON compatibility codec: curl-style clients
+// send arbitrary types (`--data-binary` defaults to
+// application/x-www-form-urlencoded) and have always been decoded as NDJSON.
+func SelectCodec(codecs []Codec, contentType string) Codec {
+	if len(codecs) == 0 {
+		return nil
+	}
+	mt := strings.TrimSpace(contentType)
+	if mt != "" {
+		if parsed, _, err := mime.ParseMediaType(mt); err == nil {
+			mt = parsed
+		}
+	}
+	for _, c := range codecs {
+		if strings.EqualFold(mt, c.ContentType()) {
+			return c
+		}
+	}
+	return codecs[0]
+}

@@ -356,6 +356,51 @@ func (e *Engine) Ingest(tag string, s Sample) error {
 	if e.closed {
 		return ErrClosed
 	}
+	return e.ingestLocked(tag, s)
+}
+
+// Tagged couples a tag id with one sample for batched ingest.
+type Tagged struct {
+	Tag    string
+	Sample Sample
+}
+
+// IngestTagged accepts a mixed-tag batch under a single lock acquisition —
+// the ingest entry point for the HTTP daemons, where a decoded request body
+// arrives as one slice and per-sample locking would dominate at cluster
+// ingest rates. Semantics match per-sample Ingest: samples are applied in
+// order; a non-finite sample, an empty tag, or a RejectNewest overflow drops
+// that sample (counted) without poisoning the rest of the batch. The only
+// error returned is ErrClosed, with accepted/dropped covering the samples
+// processed before the engine closed.
+func (e *Engine) IngestTagged(batch []Tagged) (accepted, dropped int, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ts := range batch {
+		if e.closed {
+			return accepted, dropped, ErrClosed
+		}
+		if ts.Tag == "" {
+			dropped++
+			continue
+		}
+		if !ts.Sample.Pos.IsFinite() || !finite(ts.Sample.Phase) {
+			e.rejected.Inc()
+			dropped++
+			continue
+		}
+		if e.ingestLocked(ts.Tag, ts.Sample) != nil {
+			dropped++
+			continue
+		}
+		accepted++
+	}
+	return accepted, dropped, nil
+}
+
+// ingestLocked applies one validated sample to its session. The caller holds
+// e.mu and has checked closed, tag, and finiteness.
+func (e *Engine) ingestLocked(tag string, s Sample) error {
 	sess := e.sessions[tag]
 	if sess == nil {
 		sess = &session{tag: tag, buf: make([]Sample, e.cfg.WindowSize)}

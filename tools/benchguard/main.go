@@ -47,10 +47,10 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
 	var (
-		baselinePath = fs.String("baseline", "BENCH_6.json", "committed snapshot to guard against")
+		baselinePath = fs.String("baseline", "BENCH_7.json", "committed snapshot to guard against")
 		currentPath  = fs.String("current", "", "freshly measured snapshot (required)")
 		maxShift     = fs.Float64("max-shift", 0.10, "allowed fractional regression per metric")
-		nsNames      = fs.String("ns", "locate_2d_line,stream_resolve_incremental",
+		nsNames      = fs.String("ns", "locate_2d_line,stream_resolve_incremental,wire_decode",
 			"comma-separated benchmark names whose ns_per_op is guarded")
 	)
 	if err := fs.Parse(args); err != nil {
