@@ -2,16 +2,16 @@ GO ?= go
 
 ## BENCH_BASELINE: the committed lionbench snapshot bench-guard compares
 ## against. Bump when a PR lands a new snapshot.
-BENCH_BASELINE ?= BENCH_7.json
+BENCH_BASELINE ?= BENCH_8.json
 
-.PHONY: check fmt vet build test race bench bench-guard fuzz serve-smoke cluster-smoke metriclint
+.PHONY: check fmt vet build test race bench bench-guard fuzz serve-smoke cluster-smoke recal-smoke metriclint
 
 ## check: the CI gate — formatting, vet, build, metric-name linting, the
 ## full suite under the race detector (includes the 1k-job batch stress test,
 ## the stream concurrent-publisher stress test, and the serial/parallel
-## equivalence tests), the multi-process cluster smoke, and the benchmark
-## regression guard.
-check: fmt vet build metriclint race cluster-smoke bench-guard
+## equivalence tests), the multi-process cluster smoke, the closed-loop
+## recalibration smoke, and the benchmark regression guard.
+check: fmt vet build metriclint race cluster-smoke recal-smoke bench-guard
 
 ## metriclint: every registered metric name matches lion_[a-z_]+ and is
 ## documented in DESIGN.md section 9.
@@ -58,6 +58,13 @@ serve-smoke:
 ## verify every process drains cleanly on SIGTERM.
 cluster-smoke:
 	$(GO) test ./cmd/lionroute -run TestClusterSmoke -count=1 -v
+
+## recal-smoke: closed-loop recalibration check — start liond with -recal and
+## a deliberately stale calibration, push a drifted trace over HTTP, trigger a
+## recalibration, and assert the antenna profile hot-swaps with audit log and
+## metrics intact.
+recal-smoke:
+	$(GO) test ./cmd/liond -run TestRecalSmoke -count=1 -v
 
 ## fuzz: short fuzzing passes over the phase-wrap, preprocessing, and ingest
 ## decoding invariants (their seed corpora also run in every plain `go test`).

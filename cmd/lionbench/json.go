@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/rfid-lion/lion/internal/calib"
 	"github.com/rfid-lion/lion/internal/core"
 	"github.com/rfid-lion/lion/internal/dataset"
 	"github.com/rfid-lion/lion/internal/geom"
@@ -279,6 +280,31 @@ func benchSuite() []struct {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.PhaseOffset(positions, wrapped, geom.V3(0, 0.9, 0.4), lambda); err != nil {
 					b.Fatal(err)
+				}
+			}
+		}},
+		{"recal_solve", func(b *testing.B) {
+			// One closed-loop recalibration re-solve per op: the adaptive
+			// Eq. 17 center+offset estimate plus residual scoring over a
+			// 128-sample live window — the cost of acting on one drift
+			// alert (internal/recal), paid off the solve path on the
+			// controller's own goroutine.
+			strm := benchStream(lambda, 128)
+			positions := make([]geom.Vec3, len(strm))
+			wrapped := make([]float64, len(strm))
+			for i, o := range strm {
+				positions[i] = o.Pos
+				wrapped[i] = rf.WrapPhase(o.Theta + 1.3)
+			}
+			cfg := calib.Config{Lambda: lambda, Adaptive: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := calib.EstimateLine(positions, wrapped, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if calib.OffsetResidualRMS(positions, wrapped, res.Center, res.Offset, lambda) > 0.1 {
+					b.Fatal("recalibration did not fit the window")
 				}
 			}
 		}},

@@ -18,10 +18,10 @@ import (
 	"strings"
 
 	lion "github.com/rfid-lion/lion"
+	"github.com/rfid-lion/lion/internal/calib"
 	"github.com/rfid-lion/lion/internal/dataset"
 	"github.com/rfid-lion/lion/internal/geom"
 	"github.com/rfid-lion/lion/internal/sim"
-	"github.com/rfid-lion/lion/internal/traject"
 )
 
 func main() {
@@ -123,86 +123,21 @@ func run(args []string) error {
 	return nil
 }
 
-// locate dispatches on the scan mode and returns the estimated center.
+// locate dispatches on the scan mode and returns the estimated center via
+// the shared internal/calib solver core (the same code path the online
+// recalibration controller uses).
 func locate(mode string, obs []lion.PosPhase, samples []sim.Sample, lambda, interval, scanRange float64, adaptive, side bool) (lion.Vec3, error) {
-	split := func(label int) []lion.PosPhase {
-		var out []lion.PosPhase
-		for i, s := range samples {
-			if s.Segment == label {
-				out = append(out, obs[i])
-			}
-		}
-		return out
+	labels := make([]int, len(samples))
+	for i, s := range samples {
+		labels[i] = s.Segment
 	}
-	opts := lion.StructuredOptions{
-		ScanRange: scanRange,
-		Interval:  interval,
-		Solve:     lion.DefaultSolveOptions(),
-	}
-	ranges := []float64{scanRange}
-	intervals := []float64{interval}
-	if adaptive {
-		ranges = []float64{0.6, 0.8, 1.0}
-		intervals = []float64{0.15, 0.2, 0.25}
-	}
-	switch mode {
-	case "threeline":
-		in := lion.ThreeLineInput{
-			L1:     split(traject.LineL1),
-			L2:     split(traject.LineL2),
-			L3:     split(traject.LineL3),
-			Lambda: lambda,
-		}
-		if adaptive {
-			res, err := lion.AdaptiveLocateThreeLine(in, ranges, intervals,
-				lion.StructuredOptions{Solve: lion.DefaultSolveOptions()})
-			if err != nil {
-				return lion.Vec3{}, err
-			}
-			return res.Position, nil
-		}
-		sol, err := lion.LocateThreeLine(in, opts)
-		if err != nil {
-			return lion.Vec3{}, err
-		}
-		return sol.Position, nil
-	case "twoline":
-		in := lion.TwoLineInput{
-			L1:     split(traject.LineL1),
-			L2:     split(traject.LineL2),
-			Lambda: lambda,
-		}
-		if adaptive {
-			res, err := lion.AdaptiveLocateTwoLine(in, side, ranges, intervals,
-				lion.StructuredOptions{Solve: lion.DefaultSolveOptions()})
-			if err != nil {
-				return lion.Vec3{}, err
-			}
-			return res.Position, nil
-		}
-		sol, err := lion.LocateTwoLine(in, side, opts)
-		if err != nil {
-			return lion.Vec3{}, err
-		}
-		return sol.Position, nil
-	case "line":
-		sol, err := lion.Locate2DLine(obs, lambda, interval, side,
-			lion.DefaultSolveOptions())
-		if err != nil {
-			return lion.Vec3{}, err
-		}
-		return sol.Position, nil
-	case "planar":
-		pairs := lion.StridePairs(len(obs), len(obs)/4)
-		sol, err := lion.Locate3DPlanar(obs, lambda, pairs, side,
-			lion.DefaultSolveOptions())
-		if err != nil {
-			return lion.Vec3{}, err
-		}
-		return sol.Position, nil
-	default:
-		return lion.Vec3{}, fmt.Errorf("unknown mode %q", mode)
-	}
+	return calib.LocateScan(mode, obs, labels, calib.ScanConfig{
+		Lambda:       lambda,
+		Interval:     interval,
+		ScanRange:    scanRange,
+		Adaptive:     adaptive,
+		PositiveSide: side,
+	})
 }
 
 // locateMultiChannel splits a channel-hopped dataset by channel, unwraps

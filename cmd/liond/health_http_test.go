@@ -54,11 +54,11 @@ func newHealthServer(t *testing.T, extra ...string) (*server, http.Handler) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, mon, err := buildPipeline(cfg)
+	eng, mon, ctrl, err := buildPipeline(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(eng, mon, true)
+	s := newServer(eng, mon, ctrl, true)
 	return s, s.routes()
 }
 

@@ -16,6 +16,8 @@
 //	GET  /v1/tags                  known tag ids
 //	GET  /v1/tags/{id}/estimate    latest estimate for one tag
 //	GET  /v1/alerts                health alerts + per-antenna drift status
+//	GET  /v1/recal/history         closed-loop recalibration audit log (-recal)
+//	POST /v1/recal/trigger         run one recalibration now (-recal)
 //	GET  /healthz                  liveness (always 200 while the process runs)
 //	GET  /readyz                   readiness (503 while draining or a critical alert fires)
 //	GET  /metrics                  Prometheus exposition (obs registry)
@@ -51,6 +53,7 @@ import (
 	"github.com/rfid-lion/lion/internal/geom"
 	"github.com/rfid-lion/lion/internal/health"
 	"github.com/rfid-lion/lion/internal/obs"
+	"github.com/rfid-lion/lion/internal/recal"
 	"github.com/rfid-lion/lion/internal/rf"
 	"github.com/rfid-lion/lion/internal/stream"
 	"github.com/rfid-lion/lion/internal/wire"
@@ -76,6 +79,15 @@ type config struct {
 	monitor bool
 	wire    bool
 	health  health.Config
+
+	// Closed-loop recalibration (-recal): solver geometry the controller
+	// re-solves with, plus its acceptance tuning.
+	recal        bool
+	recalMargin  float64
+	recalMin     int
+	lambda       float64
+	intervals    []float64
+	positiveSide bool
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -122,6 +134,15 @@ func parseFlags(args []string) (*config, error) {
 			"sliding sample window of the drift re-estimate")
 		holdDown = fs.Duration("hold-down", 2*time.Second,
 			"drift must persist this long (stream time) before the alert fires")
+		recalOn = fs.Bool("recal", false,
+			"closed-loop recalibration: when the drift alert fires, re-solve the "+
+				"antenna calibration from live windows and hot-swap the profile "+
+				"(requires -cal-center and -monitor)")
+		recalMargin = fs.Float64("recal-margin", 0.05,
+			"accept a recalibration candidate only if it improves the held-out "+
+				"residual by this fraction")
+		recalMin = fs.Int("recal-min", 64,
+			"minimum live-window samples a recalibration re-solve needs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -202,12 +223,27 @@ func parseFlags(args []string) (*config, error) {
 		}}
 	}
 	hcfg.Logger = logx
+	if *recalOn {
+		if len(hcfg.Calibrations) == 0 {
+			return nil, errors.New("-recal needs -cal-center (a calibration to recalibrate)")
+		}
+		if !*monitor {
+			return nil, errors.New("-recal needs the monitor (-monitor=true) for drift alerts")
+		}
+	}
 	return &config{
 		addr:    *addr,
 		drain:   *drain,
 		monitor: *monitor,
 		wire:    *wireOK,
 		health:  hcfg,
+
+		recal:        *recalOn,
+		recalMargin:  *recalMargin,
+		recalMin:     *recalMin,
+		lambda:       lam,
+		intervals:    ivs,
+		positiveSide: *side,
 		cfg: stream.Config{
 			WindowSize:    *window,
 			WindowSpan:    *span,
@@ -264,7 +300,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	eng, mon, err := buildPipeline(cfg)
+	eng, mon, ctrl, err := buildPipeline(cfg)
 	if err != nil {
 		return err
 	}
@@ -281,14 +317,17 @@ func run(args []string) error {
 		"workers", cfg.cfg.Workers,
 		"trace", cfg.cfg.TraceSolves,
 		"monitor", mon != nil,
-		"calibrations", len(cfg.health.Calibrations))
-	return serve(ctx, ln, eng, mon, cfg.drain, cfg.wire)
+		"calibrations", len(cfg.health.Calibrations),
+		"recal", ctrl != nil)
+	return serve(ctx, ln, eng, mon, ctrl, cfg.drain, cfg.wire)
 }
 
 // buildPipeline assembles the shared registry, the health monitor (unless
-// disabled), and the stream engine wired to both. Runtime gauges mount on
-// the same registry so /metrics carries the full picture.
-func buildPipeline(cfg *config) (*stream.Engine, *health.Monitor, error) {
+// disabled), the stream engine wired to both, and (with -recal) the
+// closed-loop recalibration controller subscribed to the monitor's alert
+// transitions. A configured calibration also becomes the engine's initial
+// antenna profile, so solves run on offset-corrected phases from the start.
+func buildPipeline(cfg *config) (*stream.Engine, *health.Monitor, *recal.Controller, error) {
 	reg := obs.NewRegistry()
 	obs.RegisterRuntimeMetrics(reg)
 	var mon *health.Monitor
@@ -296,24 +335,50 @@ func buildPipeline(cfg *config) (*stream.Engine, *health.Monitor, error) {
 		cfg.health.Registry = reg
 		var err error
 		if mon, err = health.New(cfg.health); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
+		}
+	}
+	if len(cfg.health.Calibrations) > 0 {
+		cal := cfg.health.Calibrations[0]
+		cfg.cfg.Profile = &stream.Profile{
+			Antenna: cal.Antenna, Center: cal.Center, Offset: cal.Offset, Lambda: cal.Lambda,
 		}
 	}
 	cfg.cfg.Registry = reg
 	cfg.cfg.Monitor = mon
 	eng, err := stream.New(cfg.cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return eng, mon, nil
+	var ctrl *recal.Controller
+	if cfg.recal {
+		ctrl, err = recal.New(recal.Config{
+			Engine:       eng,
+			Monitor:      mon,
+			Antenna:      cfg.cfg.Antenna,
+			Lambda:       cfg.lambda,
+			Margin:       cfg.recalMargin,
+			MinSamples:   cfg.recalMin,
+			Intervals:    cfg.intervals,
+			PositiveSide: cfg.positiveSide,
+			Registry:     reg,
+			Logger:       logx,
+		})
+		if err != nil {
+			eng.Close(context.Background())
+			return nil, nil, nil, err
+		}
+		mon.SetOnTransition(ctrl.OnTransition)
+	}
+	return eng, mon, ctrl, nil
 }
 
 // serve runs the HTTP server on ln until ctx is cancelled, then shuts down
 // gracefully: readiness flips to draining first (load balancers stop routing
 // here), the listener closes so no new samples arrive, and the engine drains
 // every in-flight and dirty window before serve returns.
-func serve(ctx context.Context, ln net.Listener, eng *stream.Engine, mon *health.Monitor, drain time.Duration, wireOK bool) error {
-	s := newServer(eng, mon, wireOK)
+func serve(ctx context.Context, ln net.Listener, eng *stream.Engine, mon *health.Monitor, ctrl *recal.Controller, drain time.Duration, wireOK bool) error {
+	s := newServer(eng, mon, ctrl, wireOK)
 	srv := &http.Server{
 		Handler:           s.routes(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -322,11 +387,15 @@ func serve(ctx context.Context, ln net.Listener, eng *stream.Engine, mon *health
 	go func() { errCh <- srv.Serve(ln) }()
 	select {
 	case err := <-errCh:
+		ctrl.Close()
 		eng.Close(context.Background())
 		return err
 	case <-ctx.Done():
 	}
 	s.draining.Store(true)
+	// Stop the recal worker before draining so no profile swap lands in the
+	// middle of the final solves.
+	ctrl.Close()
 	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
@@ -346,14 +415,15 @@ func serve(ctx context.Context, ln net.Listener, eng *stream.Engine, mon *health
 
 type server struct {
 	eng      *stream.Engine
-	mon      *health.Monitor // nil when -monitor=false
-	codecs   []dataset.Codec // ingest codecs; first is the fallback (NDJSON)
+	mon      *health.Monitor   // nil when -monitor=false
+	ctrl     *recal.Controller // nil without -recal
+	codecs   []dataset.Codec   // ingest codecs; first is the fallback (NDJSON)
 	start    time.Time
 	draining atomic.Bool
 }
 
-func newServer(eng *stream.Engine, mon *health.Monitor, wireOK bool) *server {
-	s := &server{eng: eng, mon: mon, start: time.Now()}
+func newServer(eng *stream.Engine, mon *health.Monitor, ctrl *recal.Controller, wireOK bool) *server {
+	s := &server{eng: eng, mon: mon, ctrl: ctrl, start: time.Now()}
 	s.codecs = []dataset.Codec{dataset.NDJSON{}}
 	if wireOK {
 		s.codecs = append(s.codecs, wire.Codec{})
@@ -370,6 +440,8 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/tags", s.handleTags)
 	mux.HandleFunc("GET /v1/tags/{id}/estimate", s.handleEstimate)
 	mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
+	mux.HandleFunc("GET /v1/recal/history", s.handleRecalHistory)
+	mux.HandleFunc("POST /v1/recal/trigger", s.handleRecalTrigger)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.Handle("GET /metrics", s.eng.Registry().Handler())
@@ -434,7 +506,10 @@ type estimateJSON struct {
 	RefDist   *float64 `json:"ref_distance_m,omitempty"`
 	RMSResid  *float64 `json:"rms_residual,omitempty"`
 	LatencyMS float64  `json:"solve_latency_ms"`
-	Error     string   `json:"error,omitempty"`
+	// ProfileVersion names the antenna profile that corrected this window
+	// (0 = no profile), so operators can tell pre- from post-swap estimates.
+	ProfileVersion uint64 `json:"profile_version,omitempty"`
+	Error          string `json:"error,omitempty"`
 }
 
 func fnum(v float64) *float64 {
@@ -452,12 +527,13 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := estimateJSON{
-		Tag:       est.Tag,
-		Seq:       est.Seq,
-		Window:    est.Window,
-		FromS:     est.From.Seconds(),
-		ToS:       est.To.Seconds(),
-		LatencyMS: float64(est.Latency) / float64(time.Millisecond),
+		Tag:            est.Tag,
+		Seq:            est.Seq,
+		Window:         est.Window,
+		FromS:          est.From.Seconds(),
+		ToS:            est.To.Seconds(),
+		LatencyMS:      float64(est.Latency) / float64(time.Millisecond),
+		ProfileVersion: est.ProfileVersion,
 	}
 	if est.Err != nil {
 		out.Error = est.Err.Error()

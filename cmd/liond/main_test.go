@@ -53,7 +53,7 @@ func TestServeSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, mon, err := buildPipeline(cfg)
+	eng, mon, ctrl, err := buildPipeline(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestServeSmoke(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- serve(ctx, ln, eng, mon, 5*time.Second, true) }()
+	go func() { serveDone <- serve(ctx, ln, eng, mon, ctrl, 5*time.Second, true) }()
 	base := "http://" + ln.Addr().String()
 
 	// healthz answers before any traffic.

@@ -35,7 +35,7 @@ func TestIngestWireCodec(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng, mon, err := buildPipeline(cfg)
+		eng, mon, ctrl, err := buildPipeline(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -45,7 +45,7 @@ func TestIngestWireCodec(t *testing.T) {
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		done := make(chan error, 1)
-		go func() { done <- serve(ctx, ln, eng, mon, 5*time.Second, true) }()
+		go func() { done <- serve(ctx, ln, eng, mon, ctrl, 5*time.Second, true) }()
 		return node{base: "http://" + ln.Addr().String(), eng: eng, stop: func() {
 			cancel()
 			<-done
@@ -113,11 +113,11 @@ func TestIngestWireCodec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, mon, err := buildPipeline(cfg)
+	eng, mon, ctrl, err := buildPipeline(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srvNoWire := newServer(eng, mon, false)
+	srvNoWire := newServer(eng, mon, ctrl, false)
 	defer eng.Close(context.Background())
 	var again bytes.Buffer
 	if err := (wire.Codec{}).Encode(&again, tagged); err != nil {

@@ -1,0 +1,270 @@
+// Package calib is the reusable antenna-calibration solver core: given a
+// scan of (tag position, wrapped phase) measurements it estimates the
+// antenna's phase center with the linear localization model and the
+// combined tag+antenna phase offset Δθ via the paper's Eq. 17 circular
+// mean. It is the engine behind both the offline cmd/lioncal pipeline and
+// the online internal/recal closed-loop recalibration controller, which is
+// why it lives below the command layer and speaks internal types only.
+package calib
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/rfid-lion/lion/internal/core"
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/rf"
+	"github.com/rfid-lion/lion/internal/traject"
+)
+
+// ErrTooFewSamples is returned when a calibration solve has fewer samples
+// than Config.MinSamples (or the absolute floor of 8).
+var ErrTooFewSamples = errors.New("calib: too few samples for a calibration solve")
+
+// DefaultIntervals is the pairing-interval sweep used when Config.Intervals
+// is nil — the same grid the adaptive offline pipeline sweeps.
+var DefaultIntervals = []float64{0.15, 0.2, 0.25}
+
+// Config controls a line-scan calibration solve (EstimateLine).
+type Config struct {
+	// Lambda is the carrier wavelength in metres. Required.
+	Lambda float64
+	// Smooth is the centred moving-average window applied during
+	// preprocessing (odd, 0 or 1 disables).
+	Smooth int
+	// Intervals are the pairing intervals x_o to sweep; nil selects
+	// DefaultIntervals.
+	Intervals []float64
+	// PositiveSide places the antenna on the positive side of the scan
+	// line (the +90° half-plane).
+	PositiveSide bool
+	// Adaptive fuses the interval sweep by the paper's residual rule
+	// instead of solving one joint system over all intervals.
+	Adaptive bool
+	// MinSamples is the minimum number of samples accepted; values below
+	// 8 are raised to 8 (a line solve needs enough pairs to be
+	// overdetermined).
+	MinSamples int
+	// Solve configures the least-squares core. A zero value selects
+	// core.DefaultSolveOptions (IRWLS enabled).
+	Solve core.SolveOptions
+}
+
+func (c Config) minSamples() int {
+	if c.MinSamples < 8 {
+		return 8
+	}
+	return c.MinSamples
+}
+
+func (c Config) intervals() []float64 {
+	if len(c.Intervals) == 0 {
+		return DefaultIntervals
+	}
+	return c.Intervals
+}
+
+func (c Config) solve() core.SolveOptions {
+	if c.Solve == (core.SolveOptions{}) {
+		return core.DefaultSolveOptions()
+	}
+	return c.Solve
+}
+
+// Result is one full antenna-calibration estimate.
+type Result struct {
+	// Center is the estimated phase center.
+	Center geom.Vec3
+	// Offset is the Eq. 17 phase offset Δθ = θ_T + θ_R in [0, 2π),
+	// estimated against Center.
+	Offset float64
+	// Samples is the number of measurements the solve consumed.
+	Samples int
+	// RMS is the offset-model residual (OffsetResidualRMS) of the
+	// estimate over its own input — the fit quality in radians.
+	RMS float64
+}
+
+// EstimateLine runs the full single-line calibration pipeline: unwrap and
+// smooth the raw wrapped phases, estimate the phase center with the linear
+// model (adaptive interval sweep or one joint multi-interval system), then
+// estimate the Eq. 17 phase offset against that center and report the
+// resulting model-fit RMS.
+func EstimateLine(positions []geom.Vec3, wrapped []float64, cfg Config) (Result, error) {
+	if cfg.Lambda <= 0 {
+		return Result{}, core.ErrBadLambda
+	}
+	if len(positions) != len(wrapped) {
+		return Result{}, fmt.Errorf("calib: %d positions vs %d phases", len(positions), len(wrapped))
+	}
+	if len(positions) < cfg.minSamples() {
+		return Result{}, fmt.Errorf("%w: have %d, need %d",
+			ErrTooFewSamples, len(positions), cfg.minSamples())
+	}
+	obs, err := core.Preprocess(positions, wrapped, cfg.Smooth)
+	if err != nil {
+		return Result{}, err
+	}
+	var center geom.Vec3
+	if cfg.Adaptive {
+		res, err := core.AdaptiveLocate2DLine(obs, cfg.Lambda, cfg.intervals(),
+			cfg.PositiveSide, cfg.solve())
+		if err != nil {
+			return Result{}, err
+		}
+		center = res.Position
+	} else {
+		sol, err := core.Locate2DLineIntervals(obs, cfg.Lambda, cfg.intervals(),
+			cfg.PositiveSide, cfg.solve())
+		if err != nil {
+			return Result{}, err
+		}
+		center = sol.Position
+	}
+	offset, err := core.PhaseOffset(positions, wrapped, center, cfg.Lambda)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Center:  center,
+		Offset:  offset,
+		Samples: len(positions),
+		RMS:     OffsetResidualRMS(positions, wrapped, center, offset, cfg.Lambda),
+	}, nil
+}
+
+// OffsetResidualRMS scores a calibration (center, offset) against raw
+// wrapped measurements: the RMS of the wrapped signed residual
+// measured − Δθ − 4π·d/λ per sample, in radians. It is the validation
+// metric the recalibration loop uses on held-out windows — lower is a
+// better fit, and it needs no unwrapping so it works on any sample subset.
+// Returns NaN for empty input.
+func OffsetResidualRMS(positions []geom.Vec3, wrapped []float64, center geom.Vec3, offset, lambda float64) float64 {
+	if len(positions) == 0 || len(positions) != len(wrapped) || lambda <= 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for i, pos := range positions {
+		r := rf.WrapPhaseSigned(wrapped[i] - offset -
+			rf.PhaseOfDistance(center.Dist(pos), lambda))
+		sum += r * r
+	}
+	return math.Sqrt(sum / float64(len(positions)))
+}
+
+// ScanConfig controls a structured-scan center solve (LocateScan) — the
+// offline lioncal dispatch over the paper's scan geometries.
+type ScanConfig struct {
+	// Lambda is the carrier wavelength in metres. Required.
+	Lambda float64
+	// Interval is the pairing interval x_o for non-adaptive solves.
+	Interval float64
+	// ScanRange bounds the scan extent used by the structured solvers
+	// (0 = use everything).
+	ScanRange float64
+	// Adaptive sweeps ranges {0.6, 0.8, 1.0} and intervals
+	// {0.15, 0.2, 0.25} and fuses by the residual rule.
+	Adaptive bool
+	// PositiveSide places the target on the positive side (above the
+	// plane / +90° of the line).
+	PositiveSide bool
+	// Solve configures the least-squares core. A zero value selects
+	// core.DefaultSolveOptions.
+	Solve core.SolveOptions
+}
+
+func (c ScanConfig) solve() core.SolveOptions {
+	if c.Solve == (core.SolveOptions{}) {
+		return core.DefaultSolveOptions()
+	}
+	return c.Solve
+}
+
+// LocateScan dispatches on the scan mode (threeline, twoline, line,
+// planar) and returns the estimated phase center. labels carries the
+// per-observation trajectory segment (traject.LineL1/L2/L3) and is only
+// consulted by the multi-line modes; it may be nil for line/planar.
+func LocateScan(mode string, obs []core.PosPhase, labels []int, cfg ScanConfig) (geom.Vec3, error) {
+	if cfg.Lambda <= 0 {
+		return geom.Vec3{}, core.ErrBadLambda
+	}
+	split := func(label int) []core.PosPhase {
+		var out []core.PosPhase
+		for i := range obs {
+			if i < len(labels) && labels[i] == label {
+				out = append(out, obs[i])
+			}
+		}
+		return out
+	}
+	opts := core.StructuredOptions{
+		ScanRange: cfg.ScanRange,
+		Interval:  cfg.Interval,
+		Solve:     cfg.solve(),
+	}
+	ranges := []float64{cfg.ScanRange}
+	intervals := []float64{cfg.Interval}
+	if cfg.Adaptive {
+		ranges = []float64{0.6, 0.8, 1.0}
+		intervals = []float64{0.15, 0.2, 0.25}
+	}
+	switch mode {
+	case "threeline":
+		in := core.ThreeLineInput{
+			L1:     split(traject.LineL1),
+			L2:     split(traject.LineL2),
+			L3:     split(traject.LineL3),
+			Lambda: cfg.Lambda,
+		}
+		if cfg.Adaptive {
+			res, err := core.AdaptiveLocateThreeLine(in, ranges, intervals,
+				core.StructuredOptions{Solve: cfg.solve()})
+			if err != nil {
+				return geom.Vec3{}, err
+			}
+			return res.Position, nil
+		}
+		sol, err := core.LocateThreeLine(in, opts)
+		if err != nil {
+			return geom.Vec3{}, err
+		}
+		return sol.Position, nil
+	case "twoline":
+		in := core.TwoLineInput{
+			L1:     split(traject.LineL1),
+			L2:     split(traject.LineL2),
+			Lambda: cfg.Lambda,
+		}
+		if cfg.Adaptive {
+			res, err := core.AdaptiveLocateTwoLine(in, cfg.PositiveSide, ranges, intervals,
+				core.StructuredOptions{Solve: cfg.solve()})
+			if err != nil {
+				return geom.Vec3{}, err
+			}
+			return res.Position, nil
+		}
+		sol, err := core.LocateTwoLine(in, cfg.PositiveSide, opts)
+		if err != nil {
+			return geom.Vec3{}, err
+		}
+		return sol.Position, nil
+	case "line":
+		sol, err := core.Locate2DLine(obs, cfg.Lambda, cfg.Interval,
+			cfg.PositiveSide, cfg.solve())
+		if err != nil {
+			return geom.Vec3{}, err
+		}
+		return sol.Position, nil
+	case "planar":
+		pairs := core.StridePairs(len(obs), len(obs)/4)
+		sol, err := core.Locate3DPlanar(obs, cfg.Lambda, pairs,
+			cfg.PositiveSide, cfg.solve())
+		if err != nil {
+			return geom.Vec3{}, err
+		}
+		return sol.Position, nil
+	default:
+		return geom.Vec3{}, fmt.Errorf("calib: unknown mode %q", mode)
+	}
+}

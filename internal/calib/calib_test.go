@@ -1,0 +1,124 @@
+package calib
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/rfid-lion/lion/internal/core"
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/rf"
+)
+
+// lineScan synthesizes a clean single-line scan past an antenna: positions
+// marching along x, phases following Eq. 2 exactly with a constant offset.
+func lineScan(center geom.Vec3, lambda, offset float64, n int) ([]geom.Vec3, []float64) {
+	positions := make([]geom.Vec3, n)
+	wrapped := make([]float64, n)
+	for i := range positions {
+		x := -0.6 + 1.2*float64(i)/float64(n-1)
+		positions[i] = geom.V3(x, 0, 0)
+		wrapped[i] = rf.WrapPhase(rf.PhaseOfDistance(center.Dist(positions[i]), lambda) + offset)
+	}
+	return positions, wrapped
+}
+
+func TestEstimateLineRecoversCenterAndOffset(t *testing.T) {
+	lambda := rf.DefaultBand().Wavelength()
+	truth := geom.V3(0.07, 0.82, 0)
+	const trueOffset = 2.31
+	positions, wrapped := lineScan(truth, lambda, trueOffset, 400)
+
+	for _, adaptive := range []bool{false, true} {
+		res, err := EstimateLine(positions, wrapped, Config{
+			Lambda:       lambda,
+			PositiveSide: true,
+			Adaptive:     adaptive,
+		})
+		if err != nil {
+			t.Fatalf("adaptive=%v: %v", adaptive, err)
+		}
+		if d := res.Center.Dist(truth); d > 0.02 {
+			t.Errorf("adaptive=%v: center %v is %.4f m from truth %v", adaptive, res.Center, d, truth)
+		}
+		if d := math.Abs(rf.WrapPhaseSigned(res.Offset - trueOffset)); d > 0.15 {
+			t.Errorf("adaptive=%v: offset %.4f vs truth %.4f (|Δ|=%.4f)", adaptive, res.Offset, trueOffset, d)
+		}
+		if res.Samples != len(positions) {
+			t.Errorf("adaptive=%v: Samples = %d, want %d", adaptive, res.Samples, len(positions))
+		}
+		// A clean synthetic scan must fit its own model tightly.
+		if !(res.RMS < 0.3) {
+			t.Errorf("adaptive=%v: self-fit RMS = %v, want < 0.3 rad", adaptive, res.RMS)
+		}
+	}
+}
+
+func TestEstimateLineRejectsBadInput(t *testing.T) {
+	lambda := rf.DefaultBand().Wavelength()
+	positions, wrapped := lineScan(geom.V3(0, 0.8, 0), lambda, 1, 100)
+
+	if _, err := EstimateLine(positions, wrapped, Config{}); !errors.Is(err, core.ErrBadLambda) {
+		t.Errorf("zero lambda: err = %v, want ErrBadLambda", err)
+	}
+	if _, err := EstimateLine(positions[:5], wrapped[:5], Config{Lambda: lambda}); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("short input: err = %v, want ErrTooFewSamples", err)
+	}
+	if _, err := EstimateLine(positions, wrapped[:50], Config{Lambda: lambda}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := EstimateLine(positions[:40], wrapped[:40],
+		Config{Lambda: lambda, MinSamples: 64}); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("below MinSamples: err = %v, want ErrTooFewSamples", err)
+	}
+}
+
+func TestOffsetResidualRMSDiscriminates(t *testing.T) {
+	lambda := rf.DefaultBand().Wavelength()
+	center := geom.V3(0.07, 0.82, 0)
+	const offset = 2.31
+	positions, wrapped := lineScan(center, lambda, offset, 200)
+
+	good := OffsetResidualRMS(positions, wrapped, center, offset, lambda)
+	if !(good < 1e-9) {
+		t.Errorf("exact model RMS = %v, want ~0", good)
+	}
+	// A wrong offset must score strictly worse; the residual is exactly the
+	// offset error for a correct center.
+	bad := OffsetResidualRMS(positions, wrapped, center, offset+0.5, lambda)
+	if math.Abs(bad-0.5) > 1e-9 {
+		t.Errorf("offset-perturbed RMS = %v, want 0.5", bad)
+	}
+	// A displaced center must also score worse.
+	if worse := OffsetResidualRMS(positions, wrapped, center.Add(geom.V3(0, 0.1, 0)), offset, lambda); !(worse > good) {
+		t.Errorf("center-perturbed RMS %v not worse than exact %v", worse, good)
+	}
+	if !math.IsNaN(OffsetResidualRMS(nil, nil, center, offset, lambda)) {
+		t.Error("empty input did not return NaN")
+	}
+}
+
+func TestLocateScanLineMode(t *testing.T) {
+	lambda := rf.DefaultBand().Wavelength()
+	truth := geom.V3(0.0, 0.8, 0)
+	positions, wrapped := lineScan(truth, lambda, 1.2, 400)
+	obs, err := core.Preprocess(positions, wrapped, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LocateScan("line", obs, nil, ScanConfig{
+		Lambda: lambda, Interval: 0.2, PositiveSide: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.Dist(truth); d > 0.02 {
+		t.Errorf("line mode center %v is %.4f m from truth %v", got, d, truth)
+	}
+	if _, err := LocateScan("bogus", obs, nil, ScanConfig{Lambda: lambda}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := LocateScan("line", obs, nil, ScanConfig{}); !errors.Is(err, core.ErrBadLambda) {
+		t.Errorf("zero lambda: err = %v, want ErrBadLambda", err)
+	}
+}

@@ -88,6 +88,11 @@ type Router struct {
 
 	closed atomic.Bool
 	stop   chan struct{}
+	// ctx spans the router's lifetime and parents every forward request;
+	// cancel aborts in-flight POSTs when a Close deadline expires, so a
+	// stalled shard cannot wedge a forwarder past the caller's patience.
+	ctx    context.Context
+	cancel context.CancelFunc
 	wg     sync.WaitGroup
 }
 
@@ -139,6 +144,7 @@ func New(cfg Config, opts Options) (*Router, error) {
 	if client == nil {
 		client = &http.Client{Timeout: cfg.forwardTimeout()}
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	rt := &Router{
 		cfg:    cfg,
 		ring:   ring,
@@ -148,6 +154,8 @@ func New(cfg Config, opts Options) (*Router, error) {
 		probe:  &http.Client{Timeout: cfg.healthTimeout()},
 		log:    opts.Logger,
 		stop:   make(chan struct{}),
+		ctx:    ctx,
+		cancel: cancel,
 
 		forwarded: reg.Counter("lion_cluster_forwarded_samples_total",
 			"Samples successfully forwarded to a shard."),
@@ -304,6 +312,7 @@ func (rt *Router) post(s *shard, batch []dataset.TaggedSample) {
 	}
 	body := buf.Bytes()
 	attempts := rt.cfg.forwardAttempts()
+	final := false
 	for attempt := 1; ; attempt++ {
 		begin := time.Now()
 		err := rt.postOnce(s, body)
@@ -312,7 +321,7 @@ func (rt *Router) post(s *shard, batch []dataset.TaggedSample) {
 			rt.forwarded.Add(uint64(len(batch)))
 			return
 		}
-		if attempt >= attempts {
+		if final || attempt >= attempts {
 			rt.forwardErrors.Add(uint64(len(batch)))
 			rt.logf("forward dropped batch", "shard", s.id, "samples", len(batch), "err", err.Error())
 			return
@@ -320,14 +329,21 @@ func (rt *Router) post(s *shard, batch []dataset.TaggedSample) {
 		select {
 		case <-time.After(time.Duration(attempt) * 50 * time.Millisecond):
 		case <-rt.stop:
-			// Shutdown: one immediate final try, then give up.
+			// Shutdown: skip the backoff for one immediate final try, then
+			// give up — draining must not sit out the full retry schedule.
+			final = true
 		}
 	}
 }
 
-// postOnce performs a single forward POST.
+// postOnce performs a single forward POST. The request carries a context
+// bounded by both the per-attempt forward timeout and the router lifetime,
+// so a stalled shard cannot hold a forwarder beyond either — even when the
+// caller supplied an http.Client without its own timeout.
 func (rt *Router) postOnce(s *shard, body []byte) error {
-	req, err := http.NewRequest(http.MethodPost, s.base+"/v1/samples", bytes.NewReader(body))
+	ctx, cancel := context.WithTimeout(rt.ctx, rt.cfg.forwardTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.base+"/v1/samples", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -476,8 +492,12 @@ func (rt *Router) Close(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		rt.cancel()
 		return nil
 	case <-ctx.Done():
+		// The caller is out of patience: abort in-flight forwards so the
+		// forwarders exit promptly instead of hanging on a stalled shard.
+		rt.cancel()
 		return ctx.Err()
 	}
 }

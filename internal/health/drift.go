@@ -94,6 +94,15 @@ type driftEstimator struct {
 	sumSin, sumCos float64
 }
 
+// minMeanResultant is the validity floor on the circular mean's resultant
+// length per sample, |Σe^{iθ}|/n. A resultant this small means the window's
+// instantaneous offsets are spread (near-)uniformly around the circle —
+// antipodal or degenerate input — so the mean direction is numerically
+// meaningless. An exact-zero check is useless here: floating-point
+// cancellation leaves a ~1e-16 remainder that atan2 happily turns into a
+// confident garbage angle.
+const minMeanResultant = 1e-9
+
 func newDriftEstimator(cal Calibration) *driftEstimator {
 	w := cal.window()
 	return &driftEstimator{cal: cal, sin: make([]float64, w), cos: make([]float64, w)}
@@ -113,12 +122,31 @@ func (d *driftEstimator) add(pos geom.Vec3, phase float64) {
 	d.next = (d.next + 1) % len(d.sin)
 	d.sumSin += s
 	d.sumCos += c
+	// The running add/subtract pair leaks one rounding error per slide, a
+	// random walk that never decays over an unbounded stream. Once per full
+	// ring rotation, resummate exactly from the stored window so the
+	// accumulated error is bounded by one window's worth of rounding
+	// regardless of stream length.
+	if d.next == 0 && d.n == len(d.sin) {
+		d.refresh()
+	}
+}
+
+// refresh recomputes the running sums exactly from the ring contents.
+func (d *driftEstimator) refresh() {
+	var ss, sc float64
+	for i := 0; i < d.n; i++ {
+		ss += d.sin[i]
+		sc += d.cos[i]
+	}
+	d.sumSin, d.sumCos = ss, sc
 }
 
 // status computes the current drift estimate.
 func (d *driftEstimator) status() DriftStatus {
 	st := DriftStatus{Antenna: d.cal.Antenna, Calibrated: d.cal.Offset, Samples: d.n}
-	if d.n < d.cal.minSamples() || (d.sumSin == 0 && d.sumCos == 0) {
+	if d.n < d.cal.minSamples() ||
+		math.Hypot(d.sumSin, d.sumCos) < minMeanResultant*float64(d.n) {
 		return st
 	}
 	st.Valid = true

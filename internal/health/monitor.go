@@ -48,6 +48,15 @@ type Config struct {
 	Registry *obs.Registry
 	// Logger, when non-nil, gets one structured line per alert transition.
 	Logger *obs.Logger
+	// OnTransition, when non-nil, is invoked with a copy of the alert each
+	// time it enters a new state (pending, firing, resolved; a pending
+	// alert that heals is dropped silently). Callbacks run on the observing
+	// goroutine after the monitor's lock is released, in transition order —
+	// they may call back into the monitor but must not block for long, as
+	// they hold up the solve pipeline's observation hook. This is the
+	// subscription point for closed-loop consumers such as the
+	// recalibration controller.
+	OnTransition func(Alert)
 }
 
 func (c *Config) applyDefaults() {
@@ -129,6 +138,11 @@ type Monitor struct {
 	// timestamps. Alert hold-down and resolve hysteresis are measured on
 	// it, which keeps transitions deterministic under accelerated replay.
 	now time.Duration
+
+	// hookQueue collects state-entry alert copies during a locked
+	// evaluation pass; ObserveSolve drains it to cfg.OnTransition after
+	// unlocking so callbacks never run under the monitor mutex.
+	hookQueue []Alert
 
 	flight *FlightRecorder
 
@@ -366,8 +380,27 @@ func (m *Monitor) ObserveSolve(o SolveObservation) {
 			}
 		}
 	}
+	hooks := m.hookQueue
+	m.hookQueue = nil
+	fn := m.cfg.OnTransition
 	m.mu.Unlock()
+	for _, a := range hooks {
+		fn(a)
+	}
 	m.evalSeconds.Observe(time.Since(begin).Seconds())
+}
+
+// SetOnTransition installs (or replaces) the transition subscriber after
+// construction — the wiring hook for consumers built after the monitor,
+// such as the recalibration controller. Transitions evaluated before the
+// subscriber is installed are not replayed.
+func (m *Monitor) SetOnTransition(fn func(Alert)) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.cfg.OnTransition = fn
+	m.mu.Unlock()
 }
 
 // perTagValue extracts a per-solve signal from the observation.
@@ -432,6 +465,8 @@ func (m *Monitor) transitionLocked(r Rule, scope, evidenceTag string, violating 
 			m.active[key] = st
 			m.transPending.Inc()
 			m.cfg.Logger.Info("alert pending", "rule", r.Name, "scope", scope, "value", value)
+			st.Value, st.RawValue, st.Baseline, st.UpdatedAt = value, raw, base, now
+			m.enqueueHookLocked(st.Alert)
 		}
 		st.Value, st.RawValue, st.Baseline, st.UpdatedAt = value, raw, base, now
 		st.healthy = false
@@ -446,6 +481,7 @@ func (m *Monitor) transitionLocked(r Rule, scope, evidenceTag string, violating 
 			m.cfg.Logger.Warn("alert firing",
 				"rule", r.Name, "scope", scope, "severity", r.Severity.String(),
 				"value", value, "threshold", r.Threshold)
+			m.enqueueHookLocked(st.Alert)
 		}
 		return
 	}
@@ -472,8 +508,55 @@ func (m *Monitor) transitionLocked(r Rule, scope, evidenceTag string, violating 
 			m.firingGauges[r.Name].Add(-1)
 			m.transResolved.Inc()
 			m.cfg.Logger.Info("alert resolved", "rule", r.Name, "scope", scope)
+			m.enqueueHookLocked(st.Alert)
 		}
 	}
+}
+
+// enqueueHookLocked queues an alert copy for post-unlock delivery to the
+// OnTransition subscriber.
+func (m *Monitor) enqueueHookLocked(a Alert) {
+	if m.cfg.OnTransition != nil {
+		m.hookQueue = append(m.hookQueue, a)
+	}
+}
+
+// SwapCalibration atomically replaces the recorded calibration of an
+// already-registered antenna and resets its drift estimator: the sliding
+// window is emptied so the re-estimate restarts from post-swap samples
+// only, never mixing offsets measured under the old profile with the new
+// reference. A firing calibration_drift alert for the antenna therefore
+// heals on its own once the corrected profile's samples fill the window.
+// Only antennas registered at construction can be swapped — the gauge and
+// alert-scope cardinality stays bounded by configuration.
+func (m *Monitor) SwapCalibration(cal Calibration) error {
+	if m == nil {
+		return fmt.Errorf("health: nil monitor cannot swap calibrations")
+	}
+	if err := cal.validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.drift[cal.Antenna]; !ok {
+		return fmt.Errorf("health: no calibration registered for antenna %q", cal.Antenna)
+	}
+	m.drift[cal.Antenna] = newDriftEstimator(cal)
+	return nil
+}
+
+// Calibration returns the current recorded calibration for an antenna.
+func (m *Monitor) Calibration(antenna string) (Calibration, bool) {
+	if m == nil {
+		return Calibration{}, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.drift[antenna]
+	if d == nil {
+		return Calibration{}, false
+	}
+	return d.cal, true
 }
 
 // Alerts returns every active alert plus the recently-resolved history:

@@ -130,6 +130,12 @@ type Config struct {
 	// drift detector. Single-reader deployments run one engine per antenna;
 	// the id must match a health.Calibration to enable drift estimation.
 	Antenna string
+	// Profile, when non-nil, is the initial antenna calibration profile
+	// (version 1): window solves see offset-corrected phases. It can be
+	// hot-swapped later with Engine.SwapProfile. The monitor always
+	// receives raw phases regardless — drift is measured against the
+	// health.Calibration record, not the stream profile.
+	Profile *Profile
 }
 
 func (c Config) minSamples() int {
@@ -169,6 +175,10 @@ type Estimate struct {
 	Err error
 	// Latency is the wall time of the solve itself.
 	Latency time.Duration
+	// ProfileVersion is the version of the antenna profile the whole
+	// window was solved under — 0 when no profile was active. The swap
+	// barrier guarantees a window is never split across versions.
+	ProfileVersion uint64
 }
 
 // Metrics is a point-in-time snapshot of the engine's counters.
@@ -208,6 +218,13 @@ type Engine struct {
 	closed   bool
 	snapFree []*snapshot // recycled window snapshots (guarded by mu)
 
+	// profile is the active antenna calibration profile (guarded by mu);
+	// profVersion counts swaps, 0 = never set. Snapshots pin the profile
+	// under mu at dispatch, so a window solves under exactly one version.
+	profile     Profile
+	profVersion uint64
+	profActive  bool
+
 	reg             *obs.Registry
 	ingested        *obs.Counter
 	rejected        *obs.Counter
@@ -219,6 +236,7 @@ type Engine struct {
 	droppedOverflow *obs.Counter // cached dropped children, hot path
 	droppedAge      *obs.Counter
 	droppedSub      *obs.Counter
+	profileSwaps    *obs.Counter
 }
 
 // session is the per-tag state: the ring-buffered window plus dispatch
@@ -254,6 +272,13 @@ type snapshot struct {
 	sv      solved
 	run     func(context.Context) (any, error)
 	done    func(batch.Outcome)
+
+	// Profile pinned under e.mu when the window was frozen — the swap
+	// consistency barrier. The solve applies profOffset to its private
+	// sample copy, so the whole window is corrected under one version.
+	profOffset  float64
+	profVersion uint64
+	profActive  bool
 }
 
 // solved carries a finished solve through the pool's Outcome.Value.
@@ -300,6 +325,16 @@ func New(cfg Config) (*Engine, error) {
 		solves:      reg.Counter("lion_stream_solves_total", "Window solves completed (including failures)."),
 		solveErrors: reg.Counter("lion_stream_solve_errors_total", "Window solves that returned an error."),
 		latency:     reg.Histogram("lion_stream_solve_latency_seconds", "Wall time of one window solve.", obs.DefBuckets),
+		profileSwaps: reg.Counter("lion_stream_profile_swaps_total",
+			"Antenna profile hot-swaps applied to the engine."),
+	}
+	if cfg.Profile != nil {
+		if err := cfg.Profile.validate(cfg.Antenna); err != nil {
+			return nil, err
+		}
+		e.profile = *cfg.Profile
+		e.profVersion = 1
+		e.profActive = true
 	}
 	e.droppedOverflow = e.dropped.With("overflow")
 	e.droppedAge = e.dropped.With("age")
@@ -311,6 +346,11 @@ func New(cfg Config) (*Engine, error) {
 	})
 	reg.GaugeFunc("lion_stream_solve_queue_depth", "Window solves queued behind the pool workers.", func() float64 {
 		return float64(e.pool.Len())
+	})
+	reg.GaugeFunc("lion_stream_profile_version", "Version of the active antenna profile (0 = none).", func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return float64(e.profVersion)
 	})
 	e.cond = sync.NewCond(&e.mu)
 	return e, nil
@@ -604,6 +644,9 @@ func (e *Engine) getSnapLocked(sess *session) *snapshot {
 	}
 	snap.sess = sess
 	snap.tag = sess.tag
+	snap.profOffset = e.profile.Offset
+	snap.profVersion = e.profVersion
+	snap.profActive = e.profActive
 	snap.samples = snap.samples[:0]
 	for i := 0; i < sess.n; i++ {
 		snap.samples = append(snap.samples, sess.at(i))
@@ -665,6 +708,7 @@ func (snap *snapshot) solve(ctx context.Context) (any, error) {
 	if e.traceSolves {
 		tr = obs.NewTracer()
 	}
+	snap.applyProfile()
 	begin := time.Now()
 	var sol *core.Solution
 	var serr error
@@ -689,12 +733,13 @@ func (e *Engine) complete(snap *snapshot, o batch.Outcome) {
 	e.mu.Lock()
 	sess.seq++
 	est := Estimate{
-		Tag:      snap.tag,
-		Seq:      sess.seq,
-		Window:   len(snap.samples),
-		Solution: sv.sol,
-		Err:      sv.err,
-		Latency:  sv.latency,
+		Tag:            snap.tag,
+		Seq:            sess.seq,
+		Window:         len(snap.samples),
+		Solution:       sv.sol,
+		Err:            sv.err,
+		Latency:        sv.latency,
+		ProfileVersion: snap.profVersion,
 	}
 	if len(snap.samples) > 0 {
 		est.From = snap.samples[0].Time

@@ -32,6 +32,10 @@ func DefaultBand() Band { return rf.DefaultBand() }
 // WrapPhase maps an angle onto [0, 2π).
 func WrapPhase(theta float64) float64 { return rf.WrapPhase(theta) }
 
+// WrapPhaseSigned maps an angle onto (−π, π] — the right wrap for comparing
+// two phases, where the distance between 0.01 and 2π−0.01 is 0.02, not ~2π.
+func WrapPhaseSigned(theta float64) float64 { return rf.WrapPhaseSigned(theta) }
+
 // PhaseOfDistance returns the round-trip phase 4π·d/λ.
 func PhaseOfDistance(d, lambda float64) float64 {
 	return rf.PhaseOfDistance(d, lambda)

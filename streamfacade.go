@@ -30,6 +30,10 @@ type (
 	StreamSessionSolver = stream.SessionSolver
 	// StreamDropPolicy selects the behaviour at a full window.
 	StreamDropPolicy = stream.DropPolicy
+	// StreamProfile is one antenna's live calibration (phase center, Eq. 17
+	// offset); install via StreamConfig.Profile and hot-swap with
+	// StreamEngine.SwapProfile.
+	StreamProfile = stream.Profile
 )
 
 // Overflow policies for StreamConfig.Policy.
