@@ -20,6 +20,7 @@ import (
 	"github.com/rfid-lion/lion/internal/dataset"
 	"github.com/rfid-lion/lion/internal/geom"
 	"github.com/rfid-lion/lion/internal/health"
+	"github.com/rfid-lion/lion/internal/obs"
 	"github.com/rfid-lion/lion/internal/rf"
 	"github.com/rfid-lion/lion/internal/stats"
 	"github.com/rfid-lion/lion/internal/stream"
@@ -105,7 +106,7 @@ func benchSuite() []struct {
 	fn   func(*testing.B)
 } {
 	lambda := rf.DefaultBand().Wavelength()
-	obs := benchObs(lambda)
+	lineObs := benchObs(lambda)
 	opts := core.DefaultSolveOptions()
 
 	monitored, err := health.New(health.Config{Calibrations: []health.Calibration{{
@@ -125,7 +126,7 @@ func benchSuite() []struct {
 	}{
 		{"locate_2d_line", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Locate2DLine(obs, lambda, 0.2, true, opts); err != nil {
+				if _, err := core.Locate2DLine(lineObs, lambda, 0.2, true, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -134,12 +135,12 @@ func benchSuite() []struct {
 			// The workspace solve over the same reduced line system that
 			// locate_2d_line assembles per call: steady-state re-solves of a
 			// fixed-shape system must be allocation-free.
-			prof, err := core.NewProfile(obs, lambda)
+			prof, err := core.NewProfile(lineObs, lambda)
 			if err != nil {
 				b.Fatal(err)
 			}
-			positions := make([]geom.Vec3, len(obs))
-			for i, o := range obs {
+			positions := make([]geom.Vec3, len(lineObs))
+			for i, o := range lineObs {
 				positions[i] = o.Pos
 			}
 			pairs := core.SeparationPairs(positions, 0.2)
@@ -235,6 +236,61 @@ func benchSuite() []struct {
 				step()
 			}
 		}},
+		{"staleness_overhead", func(b *testing.B) {
+			// The same per-sample engine step as stream_engine_resolve, but
+			// through the traced ingest entry point with the full pipeline
+			// instrumentation armed: span log configured, per-batch sampling
+			// decision, queue-wait/staleness/publish-latency observation.
+			// The batch is never sampled, so the delta against
+			// stream_engine_resolve is the steady-state cost of the tracing
+			// layer — and the guarded allocation count is 0: tracing must be
+			// free until a batch is actually sampled.
+			factory, err := stream.IncrementalLine2DFactory(lambda, []float64{0.05, 0.12}, true, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := stream.New(stream.Config{
+				WindowSize: 120, MinSamples: 16, SolveEvery: 1, Workers: 1,
+				SolverFactory: factory,
+				Spans:         obs.NewSpanLog("bench", 256),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close(context.Background())
+			ant := geom.V3(0, 0.9, 0.4)
+			ctx := context.Background()
+			sampler := obs.NewSampler(1<<30, 5) // samples once, then never again
+			sampler.Next()
+			batch := make([]stream.Tagged, 1)
+			n := 0
+			step := func() {
+				const half = 960
+				k := n % (2 * half)
+				if k > half {
+					k = 2*half - k
+				}
+				pos := geom.V3(-1.2+2.4*float64(k)/half, 0, 0.4)
+				phase := rf.WrapPhase(rf.PhaseOfDistance(ant.Dist(pos), lambda))
+				batch[0] = stream.Tagged{Tag: "T1", Sample: stream.Sample{
+					Time: time.Duration(n) * time.Millisecond, Pos: pos, Phase: phase,
+				}}
+				if acc, _, err := e.IngestTaggedTraced(batch, sampler.Next(), time.Time{}); err != nil || acc != 1 {
+					b.Fatalf("ingest: accepted %d err %v", acc, err)
+				}
+				if err := e.Flush(ctx); err != nil {
+					b.Fatal(err)
+				}
+				n++
+			}
+			for n < 400 {
+				step()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+		}},
 		{"wire_decode", func(b *testing.B) {
 			// One 4096-sample binary ingest body decoded per op — the
 			// cluster forwarding hot path. The ≥5x margin over
@@ -270,9 +326,9 @@ func benchSuite() []struct {
 			}
 		}},
 		{"phase_offset_calibration", func(b *testing.B) {
-			positions := make([]geom.Vec3, len(obs))
-			wrapped := make([]float64, len(obs))
-			for i, o := range obs {
+			positions := make([]geom.Vec3, len(lineObs))
+			wrapped := make([]float64, len(lineObs))
+			for i, o := range lineObs {
 				positions[i] = o.Pos
 				wrapped[i] = rf.WrapPhase(o.Theta + 1.3)
 			}

@@ -135,6 +135,30 @@ func (s *server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&sb, `<p>health eval %s</p>`, spark)
 	}
 
+	// Per-tag freshness: how stale each tag's estimates are at publication,
+	// measured from the upstream receive clock (bounded so the page stays
+	// small). The latest cell is the most recent published estimate's age.
+	staleTags := s.eng.Tags()
+	if len(staleTags) > 8 {
+		staleTags = staleTags[:8]
+	}
+	var staleRows []string
+	for _, tag := range staleTags {
+		series := s.eng.StalenessSeries(tag)
+		if len(series) == 0 {
+			continue
+		}
+		staleRows = append(staleRows, fmt.Sprintf(`<tr><td>%s</td><td>%s</td><td>%.4g s</td></tr>`,
+			html.EscapeString(tag), svgSparkline(series), series[len(series)-1]))
+	}
+	if len(staleRows) > 0 {
+		sb.WriteString(`<h2>Staleness</h2><table><tr><th>tag</th><th>staleness</th><th>latest</th></tr>`)
+		for _, row := range staleRows {
+			sb.WriteString(row)
+		}
+		sb.WriteString(`</table>`)
+	}
+
 	if s.mon != nil {
 		sb.WriteString(`<h2>Calibration drift</h2>`)
 		drifts := s.mon.Drifts()

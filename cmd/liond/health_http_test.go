@@ -58,7 +58,7 @@ func newHealthServer(t *testing.T, extra ...string) (*server, http.Handler) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(eng, mon, ctrl, true)
+	s := newServer(eng, mon, ctrl, cfg)
 	return s, s.routes()
 }
 

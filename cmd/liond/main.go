@@ -16,6 +16,7 @@
 //	GET  /v1/tags                  known tag ids
 //	GET  /v1/tags/{id}/estimate    latest estimate for one tag
 //	GET  /v1/alerts                health alerts + per-antenna drift status
+//	GET  /v1/slo                   latency/freshness quantiles + alert latency
 //	GET  /v1/recal/history         closed-loop recalibration audit log (-recal)
 //	POST /v1/recal/trigger         run one recalibration now (-recal)
 //	GET  /healthz                  liveness (always 200 while the process runs)
@@ -23,6 +24,7 @@
 //	GET  /metrics                  Prometheus exposition (obs registry)
 //	GET  /debug/trace/{id}         last solve trace for one tag, NDJSON (-trace)
 //	GET  /debug/flight/{id}        flight-recorder traces for one tag, NDJSON
+//	GET  /debug/pipespans          pipeline spans, NDJSON (?trace= filters)
 //	GET  /debug/dashboard          dependency-free HTML health dashboard
 //	GET  /debug/pprof/...          net/http/pprof profiles
 //
@@ -65,6 +67,10 @@ var logx = obs.NewLogger(os.Stderr)
 // maxIngestBody bounds one POST /v1/samples body (64 MiB).
 const maxIngestBody = 64 << 20
 
+// spanLogCap bounds the in-memory pipeline span ring served at
+// /debug/pipespans; old spans are overwritten, never spilled.
+const spanLogCap = 4096
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "liond:", err)
@@ -79,6 +85,11 @@ type config struct {
 	monitor bool
 	wire    bool
 	health  health.Config
+
+	// traceSample samples 1 in N locally-originated ingest batches for
+	// end-to-end tracing (0 = off). Wire frames carrying a trace extension
+	// from lionroute are always honoured regardless of this knob.
+	traceSample int
 
 	// Closed-loop recalibration (-recal): solver geometry the controller
 	// re-solves with, plus its acceptance tuning.
@@ -143,6 +154,9 @@ func parseFlags(args []string) (*config, error) {
 				"residual by this fraction")
 		recalMin = fs.Int("recal-min", 64,
 			"minimum live-window samples a recalibration re-solve needs")
+		traceSample = fs.Int("trace-sample", 0,
+			"pipeline tracing: sample 1 in N local ingest batches (0 = off; "+
+				"traced wire frames from lionroute are always honoured)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -231,12 +245,17 @@ func parseFlags(args []string) (*config, error) {
 			return nil, errors.New("-recal needs the monitor (-monitor=true) for drift alerts")
 		}
 	}
+	if *traceSample < 0 {
+		return nil, fmt.Errorf("-trace-sample must be >= 0, got %d", *traceSample)
+	}
 	return &config{
 		addr:    *addr,
 		drain:   *drain,
 		monitor: *monitor,
 		wire:    *wireOK,
 		health:  hcfg,
+
+		traceSample: *traceSample,
 
 		recal:        *recalOn,
 		recalMargin:  *recalMargin,
@@ -319,7 +338,7 @@ func run(args []string) error {
 		"monitor", mon != nil,
 		"calibrations", len(cfg.health.Calibrations),
 		"recal", ctrl != nil)
-	return serve(ctx, ln, eng, mon, ctrl, cfg.drain, cfg.wire)
+	return serve(ctx, ln, eng, mon, ctrl, cfg)
 }
 
 // buildPipeline assembles the shared registry, the health monitor (unless
@@ -346,6 +365,11 @@ func buildPipeline(cfg *config) (*stream.Engine, *health.Monitor, *recal.Control
 	}
 	cfg.cfg.Registry = reg
 	cfg.cfg.Monitor = mon
+	// The span log is always wired in: recording is gated per batch by the
+	// trace context, so an untraced steady state pays nothing for it, and a
+	// router that negotiated the wire trace extension can light it up without
+	// any local flag.
+	cfg.cfg.Spans = obs.NewSpanLog("liond", spanLogCap)
 	eng, err := stream.New(cfg.cfg)
 	if err != nil {
 		return nil, nil, nil, err
@@ -377,8 +401,9 @@ func buildPipeline(cfg *config) (*stream.Engine, *health.Monitor, *recal.Control
 // gracefully: readiness flips to draining first (load balancers stop routing
 // here), the listener closes so no new samples arrive, and the engine drains
 // every in-flight and dirty window before serve returns.
-func serve(ctx context.Context, ln net.Listener, eng *stream.Engine, mon *health.Monitor, ctrl *recal.Controller, drain time.Duration, wireOK bool) error {
-	s := newServer(eng, mon, ctrl, wireOK)
+func serve(ctx context.Context, ln net.Listener, eng *stream.Engine, mon *health.Monitor, ctrl *recal.Controller, cfg *config) error {
+	s := newServer(eng, mon, ctrl, cfg)
+	drain := cfg.drain
 	srv := &http.Server{
 		Handler:           s.routes(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -420,14 +445,31 @@ type server struct {
 	codecs   []dataset.Codec   // ingest codecs; first is the fallback (NDJSON)
 	start    time.Time
 	draining atomic.Bool
+
+	// Pipeline tracing: the engine's span ring, the local 1-in-N sampler
+	// (nil without -trace-sample), and whether /readyz advertises FlagTrace
+	// decode capability to lionroute.
+	spans        *obs.SpanLog
+	sampler      *obs.Sampler
+	wireTrace    bool
+	ingestDecode *obs.Histogram
 }
 
-func newServer(eng *stream.Engine, mon *health.Monitor, ctrl *recal.Controller, wireOK bool) *server {
-	s := &server{eng: eng, mon: mon, ctrl: ctrl, start: time.Now()}
+func newServer(eng *stream.Engine, mon *health.Monitor, ctrl *recal.Controller, cfg *config) *server {
+	s := &server{
+		eng: eng, mon: mon, ctrl: ctrl, start: time.Now(),
+		spans:     cfg.cfg.Spans,
+		wireTrace: cfg.wire,
+	}
+	if cfg.traceSample > 0 {
+		s.sampler = obs.NewSampler(cfg.traceSample, uint64(s.start.UnixNano()))
+	}
 	s.codecs = []dataset.Codec{dataset.NDJSON{}}
-	if wireOK {
+	if cfg.wire {
 		s.codecs = append(s.codecs, wire.Codec{})
 	}
+	s.ingestDecode = eng.Registry().Histogram("lion_ingest_decode_seconds",
+		"Time decoding one POST /v1/samples body, wire or NDJSON.", obs.DefBuckets)
 	eng.Registry().GaugeFunc("lion_uptime_seconds", "Seconds since the daemon started.", func() float64 {
 		return time.Since(s.start).Seconds()
 	})
@@ -440,6 +482,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/tags", s.handleTags)
 	mux.HandleFunc("GET /v1/tags/{id}/estimate", s.handleEstimate)
 	mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
+	mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	mux.HandleFunc("GET /v1/recal/history", s.handleRecalHistory)
 	mux.HandleFunc("POST /v1/recal/trigger", s.handleRecalTrigger)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -447,6 +490,7 @@ func (s *server) routes() http.Handler {
 	mux.Handle("GET /metrics", s.eng.Registry().Handler())
 	mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /debug/flight/{id}", s.handleFlight)
+	mux.HandleFunc("GET /debug/pipespans", s.handlePipeSpans)
 	mux.HandleFunc("GET /debug/dashboard", s.handleDashboard)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -467,12 +511,37 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	recv := time.Now()
+	body := http.MaxBytesReader(w, r.Body, maxIngestBody)
 	codec := dataset.SelectCodec(s.codecs, r.Header.Get("Content-Type"))
-	samples, err := codec.Decode(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	var (
+		samples []dataset.TaggedSample
+		ext     *wire.Ext
+		err     error
+	)
+	if _, isWire := codec.(wire.Codec); isWire {
+		samples, ext, err = wire.DecodeIngestExt(body)
+	} else {
+		samples, err = codec.Decode(body)
+	}
+	decodeTook := time.Since(recv)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Trace context and staleness origin: a wire trace extension from the
+	// router wins (its receive clock started this batch's staleness budget);
+	// otherwise the local sampler decides and the origin is our own accept.
+	var tc obs.TraceContext
+	origin := recv
+	if ext != nil {
+		tc = obs.TraceContext{ID: ext.TraceID, Sampled: true}
+		origin = time.Unix(0, ext.RouterRecvUnixNano)
+	} else if s.sampler != nil {
+		tc = s.sampler.Next()
+	}
+	s.ingestDecode.ObserveExemplar(decodeTook.Seconds(), tc)
+	s.spans.Record(tc, "ingest_decode", "", recv, decodeTook)
 	// The whole batch enters the engine under one lock acquisition; bad
 	// samples (RejectNewest overflow, non-finite floats) are counted and
 	// skipped so one cannot poison the rest of the batch.
@@ -480,12 +549,18 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	for i, ts := range samples {
 		batch[i] = stream.Tagged{Tag: ts.Tag, Sample: stream.FromSim(ts.Sample())}
 	}
-	accepted, dropped, err := s.eng.IngestTagged(batch)
+	enq := time.Now()
+	accepted, dropped, err := s.eng.IngestTaggedTraced(batch, tc, origin)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"accepted": accepted, "dropped": dropped})
+	s.spans.Record(tc, "engine_enqueue", "", enq, time.Since(enq))
+	resp := map[string]any{"accepted": accepted, "dropped": dropped}
+	if tc.Sampled {
+		resp["trace_id"] = obs.TraceIDString(tc.ID)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleTags(w http.ResponseWriter, r *http.Request) {

@@ -63,7 +63,8 @@ func TestServeSmoke(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- serve(ctx, ln, eng, mon, ctrl, 5*time.Second, true) }()
+	cfg.drain = 5 * time.Second
+	go func() { serveDone <- serve(ctx, ln, eng, mon, ctrl, cfg) }()
 	base := "http://" + ln.Addr().String()
 
 	// healthz answers before any traffic.

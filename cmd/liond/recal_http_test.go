@@ -69,7 +69,8 @@ func TestRecalSmoke(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- serve(ctx, ln, eng, mon, ctrl, 5*time.Second, true) }()
+	cfg.drain = 5 * time.Second
+	go func() { serveDone <- serve(ctx, ln, eng, mon, ctrl, cfg) }()
 	base := "http://" + ln.Addr().String()
 
 	// The calibration seeds the engine's initial antenna profile.

@@ -1,0 +1,98 @@
+// SLO and pipeline-trace endpoints: /v1/slo and /debug/pipespans.
+//
+// /v1/slo is the per-shard half of the cluster SLO contract: it reports the
+// windowed p50/p95/p99 of every pipeline latency dimension this daemon
+// measures, in exactly the shape lionroute's rollup parses — one
+// {"p50","p95","p99","count"} object per dimension plus a scalar
+// "alert_latency_seconds". Dimensions with no observations yet are omitted
+// rather than reported as zeros, so the rollup never mistakes an idle shard
+// for a fast one.
+package main
+
+import (
+	"net/http"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/obs"
+)
+
+// sloQuantiles is one latency dimension of the /v1/slo document. The field
+// set mirrors internal/cluster's parser; changing it is a cluster protocol
+// change.
+type sloQuantiles struct {
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Count uint64  `json:"count"`
+}
+
+// sloDimensions maps /v1/slo document keys to the registry histograms they
+// summarise. Quantiles come from each histogram's sliding window of raw
+// observations, so they track current behaviour, not lifetime averages.
+var sloDimensions = []struct{ key, metric string }{
+	{"staleness_seconds", "lion_stream_staleness_seconds"},
+	{"queue_wait_seconds", "lion_stream_queue_wait_seconds"},
+	{"solve_latency_seconds", "lion_stream_solve_latency_seconds"},
+	{"publish_latency_seconds", "lion_stream_publish_latency_seconds"},
+	{"ingest_decode_seconds", "lion_ingest_decode_seconds"},
+}
+
+func (s *server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	doc := make(map[string]any, len(sloDimensions)+1)
+	for _, dim := range sloDimensions {
+		h, ok := s.eng.Registry().FindHistogram(dim.metric)
+		if !ok || h.Count() == 0 {
+			continue
+		}
+		q := sloQuantiles{Count: h.Count()}
+		q.P50, _ = h.Quantile(0.50)
+		q.P95, _ = h.Quantile(0.95)
+		q.P99, _ = h.Quantile(0.99)
+		doc[dim.key] = q
+	}
+	if lat, ok := s.alertLatency(); ok {
+		doc["alert_latency_seconds"] = lat
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// alertLatency reports how long the most recently fired alert took to fire:
+// FiredAt − StartedAt on the monitor's stream-time clock, i.e. hold-down plus
+// detection lag. Pending alerts have no latency yet and a nil monitor has no
+// alerts at all; both report ok=false and the dimension is omitted.
+func (s *server) alertLatency() (float64, bool) {
+	if s.mon == nil {
+		return 0, false
+	}
+	var latest, lat time.Duration
+	found := false
+	for _, a := range s.mon.Alerts() {
+		if a.FiredAt == 0 {
+			continue
+		}
+		if !found || a.FiredAt > latest {
+			latest, lat, found = a.FiredAt, a.FiredAt-a.StartedAt, true
+		}
+	}
+	return lat.Seconds(), found
+}
+
+// handlePipeSpans exports the daemon's pipeline span ring as NDJSON in the
+// frozen obs.PipeSpan schema. ?trace=<16 hex digits> restricts the export to
+// one trace — the form lionroute fetches when assembling a cross-process
+// trace for /v1/trace/{id}.
+func (s *server) handlePipeSpans(w http.ResponseWriter, r *http.Request) {
+	var id uint64
+	if q := r.URL.Query().Get("trace"); q != "" {
+		v, err := obs.ParseTraceID(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		id = v
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if s.spans != nil {
+		s.spans.WriteNDJSON(w, id)
+	}
+}

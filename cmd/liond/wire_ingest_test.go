@@ -45,7 +45,8 @@ func TestIngestWireCodec(t *testing.T) {
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		done := make(chan error, 1)
-		go func() { done <- serve(ctx, ln, eng, mon, ctrl, 5*time.Second, true) }()
+		cfg.drain = 5 * time.Second
+		go func() { done <- serve(ctx, ln, eng, mon, ctrl, cfg) }()
 		return node{base: "http://" + ln.Addr().String(), eng: eng, stop: func() {
 			cancel()
 			<-done
@@ -109,7 +110,7 @@ func TestIngestWireCodec(t *testing.T) {
 
 	// A wire body posted to a daemon started with -wire=false must fail
 	// cleanly (falls back to the NDJSON parser, which rejects the binary).
-	cfg, err := parseFlags([]string{"-intervals", "0.1"})
+	cfg, err := parseFlags([]string{"-intervals", "0.1", "-wire=false"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestIngestWireCodec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srvNoWire := newServer(eng, mon, ctrl, false)
+	srvNoWire := newServer(eng, mon, ctrl, cfg)
 	defer eng.Close(context.Background())
 	var again bytes.Buffer
 	if err := (wire.Codec{}).Encode(&again, tagged); err != nil {

@@ -25,6 +25,9 @@
 //	GET  /v1/tags/{id}/estimate    proxied to the shard owning the tag
 //	GET  /v1/alerts                every live shard's alert document
 //	GET  /v1/cluster               shard states, queue depths
+//	GET  /v1/slo                   cluster SLO rollup (worst shard per dimension)
+//	GET  /v1/trace/{id}            assembled cross-process pipeline trace
+//	GET  /debug/pipespans          router-side spans, NDJSON (?trace= filters)
 //	GET  /healthz                  router liveness
 //	GET  /readyz                   503 until at least one shard takes ingest
 //	GET  /metrics                  lion_cluster_* Prometheus exposition
@@ -68,7 +71,10 @@ func run(args []string) error {
 		cfgPath = fs.String("config", "", "cluster config JSON (required; see DESIGN.md section 12)")
 		forward = fs.String("forward", "wire",
 			"codec for shard-bound batches: wire (binary frames) or ndjson")
-		drain = fs.Duration("drain", 10*time.Second, "shutdown queue-flush timeout")
+		drain       = fs.Duration("drain", 10*time.Second, "shutdown queue-flush timeout")
+		traceSample = fs.Int("trace-sample", 0,
+			"pipeline tracing: sample 1 in N ingest requests end-to-end (0 = off); "+
+				"sampled traces are served at /v1/trace/{id}")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,13 +96,21 @@ func run(args []string) error {
 		return fmt.Errorf("unknown -forward codec %q (want wire or ndjson)", *forward)
 	}
 
+	if *traceSample < 0 {
+		return fmt.Errorf("-trace-sample must be >= 0, got %d", *traceSample)
+	}
 	reg := obs.NewRegistry()
 	obs.RegisterRuntimeMetrics(reg)
-	rt, err := cluster.New(*cfg, cluster.Options{
+	opts := cluster.Options{
 		Registry: reg,
 		Codec:    codec,
 		Logger:   logx,
-	})
+	}
+	if *traceSample > 0 {
+		opts.Sampler = obs.NewSampler(*traceSample, uint64(time.Now().UnixNano()))
+		opts.Spans = obs.NewSpanLog("lionroute", 4096)
+	}
+	rt, err := cluster.New(*cfg, opts)
 	if err != nil {
 		return err
 	}

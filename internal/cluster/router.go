@@ -63,6 +63,12 @@ type Options struct {
 	Client *http.Client
 	// Logger receives state transitions; nil silences them.
 	Logger *obs.Logger
+	// Sampler decides which ingest batches get a pipeline trace; nil never
+	// samples, keeping the ingest path trace-free at zero cost.
+	Sampler *obs.Sampler
+	// Spans receives the router's pipeline spans (ingest decode, queue
+	// wait, forward) for sampled batches; nil disables span retention.
+	Spans *obs.SpanLog
 }
 
 // Router owns the ring, the per-shard forward queues, and the health
@@ -77,9 +83,14 @@ type Router struct {
 	probe  *http.Client
 	log    *obs.Logger
 
+	sampler *obs.Sampler
+	spans   *obs.SpanLog
+
 	forwarded      *obs.Counter
 	forwardErrors  *obs.Counter
 	forwardLatency *obs.Histogram
+	ingestDecode   *obs.Histogram
+	queueWait      *obs.Histogram
 	rejQueueFull   *obs.Counter
 	rejDraining    *obs.Counter
 	rejDown        *obs.Counter
@@ -96,14 +107,30 @@ type Router struct {
 	wg     sync.WaitGroup
 }
 
+// queuedBatch is one owner-partitioned sample group waiting on a shard's
+// forward queue, carrying the clocks and trace context the observability
+// layer needs: enqueued feeds the queue-wait histogram, recv is the router
+// receive wall clock (the cluster staleness zero point, forwarded on the
+// wire), and tc is the pipeline trace decision for this batch.
+type queuedBatch struct {
+	samples  []dataset.TaggedSample
+	enqueued time.Time
+	recv     time.Time
+	tc       obs.TraceContext
+}
+
 // shard is the router-side state of one liond instance.
 type shard struct {
 	id   string
 	base string // URL base without trailing slash
 
-	queue  chan []dataset.TaggedSample
+	queue  chan queuedBatch
 	queued atomic.Int64 // samples currently queued (gauge backing)
 	state  atomic.Int32 // ShardState
+	// traceOK records whether the shard's /readyz advertised FlagTrace
+	// support ("wire_trace": true). Flagged frames are only sent when it
+	// did — a decoder predating the extension never sees one.
+	traceOK atomic.Bool
 
 	failures int // consecutive probe failures; health goroutine only
 
@@ -146,16 +173,18 @@ func New(cfg Config, opts Options) (*Router, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	rt := &Router{
-		cfg:    cfg,
-		ring:   ring,
-		reg:    reg,
-		codec:  codec,
-		client: client,
-		probe:  &http.Client{Timeout: cfg.healthTimeout()},
-		log:    opts.Logger,
-		stop:   make(chan struct{}),
-		ctx:    ctx,
-		cancel: cancel,
+		cfg:     cfg,
+		ring:    ring,
+		reg:     reg,
+		codec:   codec,
+		client:  client,
+		probe:   &http.Client{Timeout: cfg.healthTimeout()},
+		log:     opts.Logger,
+		sampler: opts.Sampler,
+		spans:   opts.Spans,
+		stop:    make(chan struct{}),
+		ctx:     ctx,
+		cancel:  cancel,
 
 		forwarded: reg.Counter("lion_cluster_forwarded_samples_total",
 			"Samples successfully forwarded to a shard."),
@@ -163,6 +192,10 @@ func New(cfg Config, opts Options) (*Router, error) {
 			"Samples dropped because a forward POST kept failing."),
 		forwardLatency: reg.Histogram("lion_cluster_forward_latency_seconds",
 			"Wall time of one successful forward POST.", obs.DefBuckets),
+		ingestDecode: reg.Histogram("lion_cluster_ingest_decode_seconds",
+			"Wall time to decode one router ingest request body.", obs.DefBuckets),
+		queueWait: reg.Histogram("lion_cluster_queue_wait_seconds",
+			"Wait of a batch on a shard's forward queue before its POST began.", obs.DefBuckets),
 		ejections: reg.Counter("lion_cluster_ejections_total",
 			"Shards ejected after consecutive failed health probes."),
 		readmissions: reg.Counter("lion_cluster_readmissions_total",
@@ -189,7 +222,7 @@ func New(cfg Config, opts Options) (*Router, error) {
 		s := &shard{
 			id:    sc.ID,
 			base:  strings.TrimRight(sc.URL, "/"),
-			queue: make(chan []dataset.TaggedSample, depth),
+			queue: make(chan queuedBatch, depth),
 			// metriclint:bounded shard ids come from the static cluster config
 			queueGauge: queueGauge.With(sc.ID),
 			// metriclint:bounded shard ids come from the static cluster config
@@ -216,10 +249,13 @@ func (rt *Router) Registry() *obs.Registry { return rt.reg }
 // cluster status document.
 func (rt *Router) Owner(tag string) string { return rt.shards[rt.ring.Owner(tag)].id }
 
-// IngestResult reports what happened to one decoded ingest batch.
+// IngestResult reports what happened to one decoded ingest batch. TraceID is
+// the hex pipeline trace id when the batch was sampled, empty otherwise —
+// clients follow it through GET /v1/trace/{id}.
 type IngestResult struct {
-	Accepted int `json:"accepted"`
-	Rejected int `json:"rejected"`
+	Accepted int    `json:"accepted"`
+	Rejected int    `json:"rejected"`
+	TraceID  string `json:"trace_id,omitempty"`
 }
 
 // Ingest partitions samples by ring owner and enqueues each group on its
@@ -227,12 +263,27 @@ type IngestResult struct {
 // that would overflow a shard's bounded queue, are rejected whole and
 // counted — the router never blocks an ingest request on a slow shard.
 func (rt *Router) Ingest(samples []dataset.TaggedSample) (IngestResult, error) {
+	return rt.IngestTraced(samples, obs.TraceContext{}, time.Time{})
+}
+
+// IngestTraced is Ingest with a pipeline trace decision attached: tc and the
+// receive wall clock recv travel with every enqueued group and, for sampled
+// batches bound for trace-capable shards, onto the wire. A zero recv means
+// now. An unsampled tc adds nothing to the hot path.
+func (rt *Router) IngestTraced(samples []dataset.TaggedSample, tc obs.TraceContext, recv time.Time) (IngestResult, error) {
 	var res IngestResult
 	if rt.closed.Load() {
 		return res, ErrClosed
 	}
+	if tc.Sampled {
+		res.TraceID = obs.TraceIDString(tc.ID)
+	}
 	if len(samples) == 0 {
 		return res, nil
+	}
+	now := time.Now()
+	if recv.IsZero() {
+		recv = now
 	}
 	groups := make([][]dataset.TaggedSample, len(rt.shards))
 	for _, ts := range samples {
@@ -261,7 +312,7 @@ func (rt *Router) Ingest(samples []dataset.TaggedSample) (IngestResult, error) {
 			continue
 		}
 		select {
-		case s.queue <- group:
+		case s.queue <- queuedBatch{samples: group, enqueued: now, recv: recv, tc: tc}:
 			s.queueGauge.Set(float64(s.queued.Add(int64(n))))
 			res.Accepted += n
 		default:
@@ -273,13 +324,17 @@ func (rt *Router) Ingest(samples []dataset.TaggedSample) (IngestResult, error) {
 }
 
 // forwardLoop drains one shard's queue, coalescing adjacent batches up to
-// BatchSamples per POST. It exits when the queue is closed and empty.
+// BatchSamples per POST. It exits when the queue is closed and empty. A
+// coalesced POST inherits the first sampled trace context among its batches
+// (and that batch's receive clock); queue wait is measured from the oldest
+// batch's enqueue to the start of the POST.
 func (rt *Router) forwardLoop(s *shard) {
 	defer rt.wg.Done()
 	limit := rt.cfg.batchSamples()
 	var batch []dataset.TaggedSample
 	for first := range s.queue {
-		batch = append(batch[:0], first...)
+		batch = append(batch[:0], first.samples...)
+		tc, recv := first.tc, first.recv
 	coalesce:
 		for len(batch) < limit {
 			select {
@@ -287,12 +342,20 @@ func (rt *Router) forwardLoop(s *shard) {
 				if !ok {
 					break coalesce
 				}
-				batch = append(batch, next...)
+				batch = append(batch, next.samples...)
+				if !tc.Sampled && next.tc.Sampled {
+					tc, recv = next.tc, next.recv
+				}
 			default:
 				break coalesce
 			}
 		}
-		rt.post(s, batch)
+		wait := time.Since(first.enqueued)
+		rt.queueWait.ObserveExemplar(wait.Seconds(), tc)
+		if tc.Sampled && rt.spans != nil {
+			rt.spans.Record(tc, "queue_wait", s.id, first.enqueued, wait)
+		}
+		rt.post(s, batch, tc, recv)
 		s.queueGauge.Set(float64(s.queued.Add(int64(-len(batch)))))
 	}
 }
@@ -300,10 +363,17 @@ func (rt *Router) forwardLoop(s *shard) {
 // post forwards one batch, retrying a few times before dropping it. Order
 // within the shard is preserved regardless: post returns only when the batch
 // succeeded or was abandoned, and batches after a dropped one still arrive
-// after it would have.
-func (rt *Router) post(s *shard, batch []dataset.TaggedSample) {
+// after it would have. Sampled batches bound for a shard that negotiated
+// FlagTrace carry the trace id and receive clock in a wire extension.
+func (rt *Router) post(s *shard, batch []dataset.TaggedSample, tc obs.TraceContext, recv time.Time) {
 	var buf bytes.Buffer
-	if err := rt.codec.Encode(&buf, batch); err != nil {
+	var err error
+	if ext := rt.traceExt(s, tc, recv); ext != nil {
+		err = wire.NewWriter(&buf, 0).WriteBatchExt(batch, ext)
+	} else {
+		err = rt.codec.Encode(&buf, batch)
+	}
+	if err != nil {
 		// Unencodable batches cannot happen for validated ingest samples;
 		// count and drop rather than wedging the queue.
 		rt.forwardErrors.Add(uint64(len(batch)))
@@ -317,7 +387,11 @@ func (rt *Router) post(s *shard, batch []dataset.TaggedSample) {
 		begin := time.Now()
 		err := rt.postOnce(s, body)
 		if err == nil {
-			rt.forwardLatency.Observe(time.Since(begin).Seconds())
+			took := time.Since(begin)
+			rt.forwardLatency.ObserveExemplar(took.Seconds(), tc)
+			if tc.Sampled && rt.spans != nil {
+				rt.spans.Record(tc, "forward", s.id, begin, took)
+			}
 			rt.forwarded.Add(uint64(len(batch)))
 			return
 		}
@@ -334,6 +408,21 @@ func (rt *Router) post(s *shard, batch []dataset.TaggedSample) {
 			final = true
 		}
 	}
+}
+
+// traceExt returns the wire extension to attach to one forward POST, or nil
+// when the batch is unsampled, the shard has not negotiated FlagTrace
+// support, or the forward codec is not the binary wire codec (the extension
+// is a wire-frame feature; NDJSON forwards stay trace-free). The nil path is
+// allocation-free — it is taken for every batch in an untraced steady state.
+func (rt *Router) traceExt(s *shard, tc obs.TraceContext, recv time.Time) *wire.Ext {
+	if !tc.Sampled || !s.traceOK.Load() {
+		return nil
+	}
+	if _, ok := rt.codec.(wire.Codec); !ok {
+		return nil
+	}
+	return &wire.Ext{TraceID: tc.ID, RouterRecvUnixNano: recv.UnixNano()}
 }
 
 // postOnce performs a single forward POST. The request carries a context
@@ -386,7 +475,8 @@ func (rt *Router) healthLoop(interval time.Duration) {
 //	                            are suspect but its estimates stay queryable
 //	anything else            -> failure; FailThreshold consecutive ones eject
 func (rt *Router) probeShard(s *shard) {
-	ok, status := rt.readyz(s)
+	ok, status, wireTrace := rt.readyz(s)
+	s.traceOK.Store(wireTrace)
 	prev := s.State()
 	switch {
 	case ok:
@@ -419,21 +509,24 @@ func (rt *Router) probeShard(s *shard) {
 
 // readyz performs one probe. ok means HTTP 200; otherwise status carries the
 // shard's self-reported state ("draining", "critical-alert") when the body
-// was parseable, or "" for transport errors and foreign answers.
-func (rt *Router) readyz(s *shard) (ok bool, status string) {
+// was parseable, or "" for transport errors and foreign answers. wireTrace
+// reports the shard's FlagTrace capability ("wire_trace": true in the body) —
+// absent on older shards, which therefore never receive flagged frames.
+func (rt *Router) readyz(s *shard) (ok bool, status string, wireTrace bool) {
 	resp, err := rt.probe.Get(s.base + "/readyz")
 	if err != nil {
-		return false, ""
+		return false, "", false
 	}
 	defer resp.Body.Close()
 	var body struct {
-		Status string `json:"status"`
+		Status    string `json:"status"`
+		WireTrace bool   `json:"wire_trace"`
 	}
 	json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body)
 	if resp.StatusCode == http.StatusOK {
-		return true, body.Status
+		return true, body.Status, body.WireTrace
 	}
-	return false, body.Status
+	return false, body.Status, body.WireTrace
 }
 
 // ShardStatus is one shard's row in the cluster status document.

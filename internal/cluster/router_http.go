@@ -1,14 +1,19 @@
 package cluster
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/rfid-lion/lion/internal/dataset"
+	"github.com/rfid-lion/lion/internal/obs"
 	"github.com/rfid-lion/lion/internal/wire"
 )
 
@@ -22,6 +27,9 @@ const maxIngestBody = 64 << 20
 //	GET  /v1/tags/{id}/estimate    proxied to the owning shard
 //	GET  /v1/alerts                per-shard alert documents
 //	GET  /v1/cluster               shard states and queue depths
+//	GET  /v1/slo                   per-shard SLO documents + cluster rollup
+//	GET  /v1/trace/{id}            assembled cross-process pipeline trace
+//	GET  /debug/pipespans          router span log as NDJSON (?trace=<hex>)
 //	GET  /healthz                  router liveness
 //	GET  /readyz                   503 until at least one shard takes ingest
 //	GET  /metrics                  lion_cluster_* Prometheus exposition
@@ -32,6 +40,9 @@ func (rt *Router) Routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/tags/{id}/estimate", rt.handleEstimate)
 	mux.HandleFunc("GET /v1/alerts", rt.handleAlerts)
 	mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
+	mux.HandleFunc("GET /v1/slo", rt.handleSLO)
+	mux.HandleFunc("GET /v1/trace/{id}", rt.handleTrace)
+	mux.HandleFunc("GET /debug/pipespans", rt.handlePipeSpans)
 	mux.HandleFunc("GET /healthz", rt.handleHealth)
 	mux.HandleFunc("GET /readyz", rt.handleReady)
 	mux.Handle("GET /metrics", rt.reg.Handler())
@@ -53,13 +64,20 @@ func writeError(w http.ResponseWriter, status int, err error) {
 var ingestCodecs = []dataset.Codec{dataset.NDJSON{}, wire.Codec{}}
 
 func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	recv := time.Now()
 	codec := dataset.SelectCodec(ingestCodecs, r.Header.Get("Content-Type"))
 	samples, err := codec.Decode(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	decodeTook := time.Since(recv)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := rt.Ingest(samples)
+	tc := rt.sampler.Next()
+	rt.ingestDecode.ObserveExemplar(decodeTook.Seconds(), tc)
+	if tc.Sampled && rt.spans != nil {
+		rt.spans.Record(tc, "ingest_decode", "", recv, decodeTook)
+	}
+	res, err := rt.IngestTraced(samples, tc, recv)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
@@ -172,6 +190,147 @@ func (rt *Router) handleAlerts(w http.ResponseWriter, r *http.Request) {
 
 func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"shards": rt.Status()})
+}
+
+// sloQuantiles is one latency dimension of a shard's /v1/slo document and of
+// the router's cluster rollup.
+type sloQuantiles struct {
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Count uint64  `json:"count"`
+}
+
+// handleSLO fans /v1/slo out to the live shards and rolls the answers up into
+// a cluster-wide worst-case view: for every latency dimension the rollup
+// quantile is the maximum across shards (an SLO holds for the cluster only if
+// it holds for its slowest shard) and counts are summed. alert_latency_seconds
+// rolls up as the maximum reported by any shard.
+func (rt *Router) handleSLO(w http.ResponseWriter, r *http.Request) {
+	shards := rt.fanOut("/v1/slo")
+	agg := make(map[string]*sloQuantiles)
+	var alertMax float64
+	alertSeen := false
+	for _, body := range shards {
+		var doc map[string]json.RawMessage
+		if json.Unmarshal(body, &doc) != nil {
+			continue
+		}
+		for key, raw := range doc {
+			if key == "alert_latency_seconds" {
+				var v float64
+				if json.Unmarshal(raw, &v) == nil && (!alertSeen || v > alertMax) {
+					alertMax, alertSeen = v, true
+				}
+				continue
+			}
+			var q sloQuantiles
+			if json.Unmarshal(raw, &q) != nil || q.Count == 0 {
+				continue
+			}
+			a := agg[key]
+			if a == nil {
+				a = &sloQuantiles{}
+				agg[key] = a
+			}
+			a.P50 = math.Max(a.P50, q.P50)
+			a.P95 = math.Max(a.P95, q.P95)
+			a.P99 = math.Max(a.P99, q.P99)
+			a.Count += q.Count
+		}
+	}
+	cluster := make(map[string]any, len(agg)+1)
+	for key, q := range agg {
+		cluster[key] = q
+	}
+	if alertSeen {
+		cluster["alert_latency_seconds"] = alertMax
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"shards": shards, "cluster": cluster})
+}
+
+// handleTrace assembles one cross-process pipeline trace: the router's own
+// spans plus every live shard's spans for the id, merged and sorted on the
+// shared absolute-time axis (span start). The id is the 16-digit hex trace id
+// returned by POST /v1/samples.
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := obs.ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad trace id: %w", err))
+		return
+	}
+	var spans []obs.PipeSpan
+	if rt.spans != nil {
+		spans = rt.spans.Spans(id)
+	}
+	for _, body := range rt.fanOutRaw("/debug/pipespans?trace=" + obs.TraceIDString(id)) {
+		sc := bufio.NewScanner(bytes.NewReader(body))
+		for sc.Scan() {
+			var sp obs.PipeSpan
+			if json.Unmarshal(sc.Bytes(), &sp) == nil && sp.TraceID == id {
+				spans = append(spans, sp)
+			}
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Service < spans[j].Service
+	})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"trace_id": obs.TraceIDString(id),
+		"spans":    spans,
+	})
+}
+
+// fanOutRaw issues one GET per non-ejected shard and returns each 200 body
+// verbatim (no JSON requirement — pipespan exports are NDJSON). Failed shards
+// are simply omitted: trace assembly is best-effort by design.
+func (rt *Router) fanOutRaw(path string) map[string][]byte {
+	out := make(map[string][]byte, len(rt.shards))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, s := range rt.shards {
+		if s.State() == ShardEjected {
+			continue
+		}
+		wg.Add(1)
+		go func(s *shard) {
+			defer wg.Done()
+			resp, err := rt.client.Get(s.base + path)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(io.LimitReader(resp.Body, maxIngestBody))
+			if err != nil || resp.StatusCode != http.StatusOK {
+				return
+			}
+			mu.Lock()
+			out[s.id] = body
+			mu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+	return out
+}
+
+// handlePipeSpans exports the router's own span log as NDJSON, optionally
+// filtered to one trace with ?trace=<hex id>.
+func (rt *Router) handlePipeSpans(w http.ResponseWriter, r *http.Request) {
+	var id uint64
+	if q := r.URL.Query().Get("trace"); q != "" {
+		var err error
+		if id, err = obs.ParseTraceID(q); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad trace id: %w", err))
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if rt.spans != nil {
+		rt.spans.WriteNDJSON(w, id)
+	}
 }
 
 func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -22,6 +22,7 @@ type fakeShard struct {
 
 	mu      sync.Mutex
 	samples []dataset.TaggedSample
+	exts    []*wire.Ext                 // trace extension per ingest POST (nil = plain)
 	ready   func(w http.ResponseWriter) // nil = 200 ok
 	block   chan struct{}               // non-nil: ingest waits on it
 }
@@ -37,14 +38,21 @@ func newFakeShard(t *testing.T) *fakeShard {
 		if block != nil {
 			<-block
 		}
-		codec := dataset.SelectCodec([]dataset.Codec{dataset.NDJSON{}, wire.Codec{}}, r.Header.Get("Content-Type"))
-		samples, err := codec.Decode(r.Body)
+		var samples []dataset.TaggedSample
+		var ext *wire.Ext
+		var err error
+		if r.Header.Get("Content-Type") == wire.ContentType {
+			samples, ext, err = wire.DecodeIngestExt(r.Body)
+		} else {
+			samples, err = dataset.NDJSON{}.Decode(r.Body)
+		}
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		f.mu.Lock()
 		f.samples = append(f.samples, samples...)
+		f.exts = append(f.exts, ext)
 		f.mu.Unlock()
 		w.WriteHeader(http.StatusOK)
 	})

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSamplerDeterministic1InN pins the sampling contract: the first batch
+// and every n-th after it are sampled, ids are reproducible for a fixed seed,
+// and distinct sampled batches get distinct ids.
+func TestSamplerDeterministic1InN(t *testing.T) {
+	const n = 4
+	a := NewSampler(n, 42)
+	b := NewSampler(n, 42)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 64; i++ {
+		ta, tb := a.Next(), b.Next()
+		if ta != tb {
+			t.Fatalf("batch %d: samplers with equal seeds disagree: %+v vs %+v", i, ta, tb)
+		}
+		if want := i%n == 0; ta.Sampled != want {
+			t.Fatalf("batch %d: sampled = %v, want %v", i, ta.Sampled, want)
+		}
+		if ta.Sampled {
+			if ta.ID == 0 {
+				t.Fatalf("batch %d: sampled trace has zero id", i)
+			}
+			if seen[ta.ID] {
+				t.Fatalf("batch %d: duplicate trace id %016x", i, ta.ID)
+			}
+			seen[ta.ID] = true
+		} else if ta.ID != 0 {
+			t.Fatalf("batch %d: unsampled context carries id %016x", i, ta.ID)
+		}
+	}
+	other := NewSampler(n, 43)
+	if a, b := NewSampler(n, 42).Next(), other.Next(); a.ID == b.ID {
+		t.Error("different seeds produced the same first trace id")
+	}
+}
+
+func TestSamplerDisabled(t *testing.T) {
+	var nilS *Sampler
+	for _, s := range []*Sampler{nilS, NewSampler(0, 1), NewSampler(-3, 1)} {
+		for i := 0; i < 8; i++ {
+			if tc := s.Next(); tc.Sampled || tc.ID != 0 {
+				t.Fatalf("disabled sampler returned %+v", tc)
+			}
+		}
+	}
+}
+
+func TestTraceIDStringRoundTrip(t *testing.T) {
+	for _, id := range []uint64{1, 0xdeadbeef, ^uint64(0)} {
+		s := TraceIDString(id)
+		if len(s) != 16 {
+			t.Errorf("TraceIDString(%d) = %q, want 16 hex digits", id, s)
+		}
+		got, err := ParseTraceID(s)
+		if err != nil || got != id {
+			t.Errorf("ParseTraceID(%q) = %d, %v, want %d", s, got, err, id)
+		}
+	}
+	if _, err := ParseTraceID("not-hex"); err == nil {
+		t.Error("ParseTraceID accepted garbage")
+	}
+}
+
+// TestSpanLogBoundedRing proves old spans are evicted at capacity and Spans
+// filters by trace id in record order.
+func TestSpanLogBoundedRing(t *testing.T) {
+	l := NewSpanLog("liond", 4)
+	tcA := TraceContext{ID: 0xa, Sampled: true}
+	tcB := TraceContext{ID: 0xb, Sampled: true}
+	l.RecordAt(tcA, "decode", "", 100, 10)
+	l.RecordAt(tcA, "solve", "T1", 110, 20)
+	l.RecordAt(tcB, "decode", "", 200, 5)
+	l.RecordAt(tcB, "solve", "T2", 205, 7)
+	if l.Len() != 4 || l.Total() != 4 {
+		t.Fatalf("len=%d total=%d, want 4/4", l.Len(), l.Total())
+	}
+	// One more evicts tcA's oldest span.
+	l.RecordAt(tcB, "publish", "T2", 212, 1)
+	if l.Len() != 4 || l.Total() != 5 {
+		t.Fatalf("after eviction len=%d total=%d, want 4/5", l.Len(), l.Total())
+	}
+	a := l.Spans(0xa)
+	if len(a) != 1 || a[0].Stage != "solve" || a[0].Tag != "T1" {
+		t.Fatalf("trace a spans = %+v, want only the solve span", a)
+	}
+	b := l.Spans(0xb)
+	if len(b) != 3 || b[0].Stage != "decode" || b[2].Stage != "publish" {
+		t.Fatalf("trace b spans = %+v", b)
+	}
+	if got := l.Spans(0xc); got != nil {
+		t.Fatalf("unknown trace returned %+v", got)
+	}
+	if l.Service() != "liond" {
+		t.Errorf("service = %q", l.Service())
+	}
+}
+
+// TestSpanLogNDJSONRoundTrip freezes the span export schema (trace_id hex,
+// service, stage, start_unix_ns, duration_ns) and proves a fetched line
+// unmarshals back to the identical span — the merge path lionroute relies on.
+func TestSpanLogNDJSONRoundTrip(t *testing.T) {
+	l := NewSpanLog("lionroute", 16)
+	tc := TraceContext{ID: 0x0123456789abcdef, Sampled: true}
+	l.Record(tc, "queue_wait", "", time.Unix(12, 34), 5*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := l.WriteNDJSON(&buf, tc.ID); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	want := `{"trace_id":"0123456789abcdef","service":"lionroute","stage":"queue_wait","start_unix_ns":12000000034,"duration_ns":5000000}`
+	if line != want {
+		t.Fatalf("span json:\n got %s\nwant %s", line, want)
+	}
+	var back PipeSpan
+	if err := json.Unmarshal([]byte(line), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != (PipeSpan{TraceID: tc.ID, Service: "lionroute", Stage: "queue_wait",
+		Start: 12000000034, Dur: 5000000}) {
+		t.Fatalf("round-tripped span = %+v", back)
+	}
+
+	// Filtered export: a foreign trace id yields no lines; id 0 exports all.
+	buf.Reset()
+	if err := l.WriteNDJSON(&buf, 0x999); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("foreign trace exported %q", buf.String())
+	}
+	buf.Reset()
+	if err := l.WriteNDJSON(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+	}
+	if lines != 1 {
+		t.Errorf("export-all wrote %d lines, want 1", lines)
+	}
+}
+
+// TestPipelineUntracedZeroAllocs is the obs-layer piece of the PR's carrying
+// constraint: with sampling off (or mid-stride), the per-batch tracing
+// decision plus every Record call must allocate nothing.
+func TestPipelineUntracedZeroAllocs(t *testing.T) {
+	s := NewSampler(1<<30, 7) // samples batch 0 then effectively never again
+	s.Next()                  // consume the one sampled batch
+	l := NewSpanLog("liond", 64)
+	var nilLog *SpanLog
+	now := time.Now()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tc := s.Next()
+		l.Record(tc, "ingest_decode", "", now, time.Millisecond)
+		l.RecordAt(tc, "solve", "T1", 1, 2)
+		nilLog.Record(TraceContext{ID: 1, Sampled: true}, "solve", "T1", now, 0)
+		if tc.Sampled {
+			t.Fatal("sampler unexpectedly sampled")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("untraced pipeline path allocated %.1f times per run, want 0", allocs)
+	}
+
+	// The sampled path must also be steady-state alloc-free once the ring
+	// exists: Record writes into pooled slots, never boxes.
+	tc := TraceContext{ID: 42, Sampled: true}
+	allocs = testing.AllocsPerRun(1000, func() {
+		l.RecordAt(tc, "solve", "T1", 1, 2)
+	})
+	if allocs != 0 {
+		t.Errorf("sampled RecordAt allocated %.1f times per run, want 0", allocs)
+	}
+}

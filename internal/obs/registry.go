@@ -331,8 +331,22 @@ type Histogram struct {
 	sum    float64
 	count  uint64
 	window *stats.Recorder
-	name   string
-	help   string
+	// exemplars holds the latest sampled observation per bucket (parallel to
+	// counts), allocated lazily on the first ObserveExemplar with a sampled
+	// context so exemplar-free histograms pay nothing.
+	exemplars []exemplar
+	name      string
+	help      string
+}
+
+// exemplar is the last sampled observation that landed in one bucket,
+// rendered as an OpenMetrics-style `# {trace_id="..."} value` annotation.
+// Storing the raw trace id (not a formatted string) keeps ObserveExemplar
+// allocation-free after the lazy slice exists.
+type exemplar struct {
+	traceID uint64
+	value   float64
+	valid   bool
 }
 
 func newHistogram(name, help string, buckets []float64) *Histogram {
@@ -360,6 +374,28 @@ func (h *Histogram) Observe(v float64) {
 	h.sum += v
 	h.count++
 	h.window.Add(v)
+}
+
+// ObserveExemplar records one value and, when the context is sampled,
+// remembers it as the bucket's exemplar: the exposition then annotates that
+// bucket with the trace id, linking the metric to its end-to-end trace. With
+// an unsampled context this is exactly Observe — no exemplar state is touched
+// and nothing is allocated.
+func (h *Histogram) ObserveExemplar(v float64, tc TraceContext) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.window.Add(v)
+	if !tc.Sampled {
+		return
+	}
+	if h.exemplars == nil {
+		h.exemplars = make([]exemplar, len(h.counts))
+	}
+	h.exemplars[i] = exemplar{traceID: tc.ID, value: v, valid: true}
 }
 
 // Count returns the total number of observations.
@@ -409,11 +445,22 @@ func (h *Histogram) expose(w io.Writer) {
 	var cum uint64
 	for i, ub := range h.upper {
 		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(ub), cum)
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", h.name, formatFloat(ub), cum, h.exemplarSuffix(i))
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, h.count)
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", h.name, h.count, h.exemplarSuffix(len(h.counts)-1))
 	fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.sum))
 	fmt.Fprintf(w, "%s_count %d\n", h.name, h.count)
+}
+
+// exemplarSuffix renders the OpenMetrics exemplar annotation for one bucket,
+// or "" when the bucket has none — exemplar-free expositions are unchanged
+// byte for byte. Caller holds h.mu.
+func (h *Histogram) exemplarSuffix(i int) string {
+	if h.exemplars == nil || !h.exemplars[i].valid {
+		return ""
+	}
+	ex := h.exemplars[i]
+	return fmt.Sprintf(" # {trace_id=%q} %s", TraceIDString(ex.traceID), formatFloat(ex.value))
 }
 
 // formatFloat renders a float the way Prometheus clients do: shortest

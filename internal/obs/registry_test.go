@@ -99,6 +99,69 @@ lion_test_uptime_seconds 1.5
 	}
 }
 
+// TestHistogramExemplarExpositionGolden pins the exemplar-annotated text
+// format: a bucket that received a sampled observation carries an
+// OpenMetrics-style `# {trace_id="..."} value` suffix on its own line, later
+// sampled observations into the same bucket replace the exemplar, and the
+// +Inf bucket can carry one too.
+func TestHistogramExemplarExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lion_test_staleness_seconds", "estimate staleness", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.ObserveExemplar(0.05, TraceContext{ID: 0xabc, Sampled: true})
+	h.ObserveExemplar(0.07, TraceContext{ID: 0xdef, Sampled: true}) // replaces 0xabc
+	h.ObserveExemplar(7, TraceContext{ID: 0x123, Sampled: true})
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	want := `# HELP lion_test_staleness_seconds estimate staleness
+# TYPE lion_test_staleness_seconds histogram
+lion_test_staleness_seconds_bucket{le="0.01"} 1
+lion_test_staleness_seconds_bucket{le="0.1"} 3 # {trace_id="0000000000000def"} 0.07
+lion_test_staleness_seconds_bucket{le="1"} 3
+lion_test_staleness_seconds_bucket{le="+Inf"} 4 # {trace_id="0000000000000123"} 7
+lion_test_staleness_seconds_sum 7.125
+lion_test_staleness_seconds_count 4
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exemplar exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramWithoutExemplarsUnchanged proves that unsampled contexts leave
+// the exposition byte-identical to plain Observe — the with/without pair the
+// scrape pipeline contract needs.
+func TestHistogramWithoutExemplarsUnchanged(t *testing.T) {
+	plain := NewRegistry()
+	hp := plain.Histogram("lion_test_staleness_seconds", "estimate staleness", []float64{0.01, 0.1, 1})
+	hp.Observe(0.05)
+	hp.Observe(7)
+
+	unsampled := NewRegistry()
+	hu := unsampled.Histogram("lion_test_staleness_seconds", "estimate staleness", []float64{0.01, 0.1, 1})
+	hu.ObserveExemplar(0.05, TraceContext{})
+	hu.ObserveExemplar(7, TraceContext{ID: 99, Sampled: false})
+
+	var a, b strings.Builder
+	plain.WritePrometheus(&a)
+	unsampled.WritePrometheus(&b)
+	if a.String() != b.String() {
+		t.Errorf("unsampled ObserveExemplar changed the exposition:\n--- plain ---\n%s--- unsampled ---\n%s",
+			a.String(), b.String())
+	}
+	if strings.Contains(b.String(), "trace_id") {
+		t.Error("unsampled exposition contains an exemplar annotation")
+	}
+
+	// And the unsampled observe path allocates nothing.
+	allocs := testing.AllocsPerRun(1000, func() {
+		hu.ObserveExemplar(0.05, TraceContext{})
+	})
+	if allocs != 0 {
+		t.Errorf("unsampled ObserveExemplar allocated %.1f times per run, want 0", allocs)
+	}
+}
+
 func TestRegistryIdempotentRegistration(t *testing.T) {
 	r := NewRegistry()
 	a := r.Counter("lion_test_total", "")

@@ -98,6 +98,43 @@ func (t *Tracer) Span(span string) func() {
 	}
 }
 
+// SpanMark is the handle-based counterpart of Span: a value-type span handle
+// whose End emits the matching span_end. Unlike Span, which allocates a
+// closure per call, SpanAt/End moves only a three-word struct, so hot-path
+// stages (the engine dispatch path) can bracket work at zero heap cost even
+// when the tracer is enabled — and at literally zero cost when it is nil.
+type SpanMark struct {
+	t     *Tracer
+	span  string
+	begin int64
+}
+
+// SpanAt emits a span_start event and returns the mark whose End emits the
+// matching span_end. Usage on hot paths, where Span's closure would allocate:
+//
+//	mark := tr.SpanAt("window_solve")
+//	... work ...
+//	mark.End()
+//
+// A nil tracer returns the zero mark; both calls are then no-ops.
+func (t *Tracer) SpanAt(span string) SpanMark {
+	if t == nil {
+		return SpanMark{}
+	}
+	begin := t.since()
+	t.emit(Event{TMicros: begin, Kind: KindSpanStart, Span: span})
+	return SpanMark{t: t, span: span, begin: begin}
+}
+
+// End emits the span_end event for the mark's span. Safe on the zero mark.
+func (m SpanMark) End() {
+	if m.t == nil {
+		return
+	}
+	end := m.t.since()
+	m.t.emit(Event{TMicros: end, Kind: KindSpanEnd, Span: m.span, DurMicros: end - m.begin})
+}
+
 // IRLSIter records one iteration of the re-weighted least-squares refinement.
 func (t *Tracer) IRLSIter(span string, iter int, residualNorm float64, floorHits int, condition float64) {
 	if t == nil {

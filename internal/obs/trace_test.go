@@ -28,6 +28,38 @@ func TestTracingZeroOverheadWhenNil(t *testing.T) {
 	}
 }
 
+// TestSpanAtMatchesSpan proves the handle-based variant emits the same event
+// pair as the closure-based Span, and that the nil path allocates nothing.
+func TestSpanAtMatchesSpan(t *testing.T) {
+	tr := NewTracer()
+	mark := tr.SpanAt("dispatch")
+	tr.Note("dispatch", "inside")
+	mark.End()
+
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events, want 3", len(ev))
+	}
+	if ev[0].Kind != KindSpanStart || ev[0].Span != "dispatch" {
+		t.Errorf("start event = %+v", ev[0])
+	}
+	if ev[2].Kind != KindSpanEnd || ev[2].Span != "dispatch" {
+		t.Errorf("end event = %+v", ev[2])
+	}
+	if ev[2].DurMicros != ev[2].TMicros-ev[0].TMicros {
+		t.Errorf("duration %d != end-start %d", ev[2].DurMicros, ev[2].TMicros-ev[0].TMicros)
+	}
+
+	var nilTr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		m := nilTr.SpanAt("dispatch")
+		m.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil SpanAt allocated %.1f times per run, want 0", allocs)
+	}
+}
+
 func TestTracerRecordsOrderedEvents(t *testing.T) {
 	tr := NewTracer()
 	end := tr.Span("solve")

@@ -14,6 +14,7 @@ import (
 	"github.com/rfid-lion/lion/internal/geom"
 	"github.com/rfid-lion/lion/internal/health"
 	"github.com/rfid-lion/lion/internal/obs"
+	"github.com/rfid-lion/lion/internal/stats"
 )
 
 // Errors returned by the stream engine.
@@ -136,6 +137,11 @@ type Config struct {
 	// receives raw phases regardless — drift is measured against the
 	// health.Calibration record, not the stream profile.
 	Profile *Profile
+	// Spans, when non-nil, receives pipeline spans (queue wait, solve,
+	// publish) for estimates whose triggering ingest carried a sampled
+	// trace context (IngestTaggedTraced). Unsampled estimates never touch
+	// the log, keeping the steady-state path allocation-free.
+	Spans *obs.SpanLog
 }
 
 func (c Config) minSamples() int {
@@ -173,8 +179,14 @@ type Estimate struct {
 	Solution *core.Solution
 	// Err is the solve error, if any.
 	Err error
-	// Latency is the wall time of the solve itself.
+	// Latency is the wall time of the solve itself. It deliberately
+	// excludes QueueWait — the two are separate SLO dimensions (solver
+	// cost vs dispatch backlog) and are exported as separate histograms.
 	Latency time.Duration
+	// QueueWait is the wall time from the accept of the sample that
+	// triggered this solve to the start of the solve (pool queueing plus
+	// any coalescing delay).
+	QueueWait time.Duration
 	// ProfileVersion is the version of the antenna profile the whole
 	// window was solved under — 0 when no profile was active. The swap
 	// barrier guarantees a window is never split across versions.
@@ -237,7 +249,14 @@ type Engine struct {
 	droppedAge      *obs.Counter
 	droppedSub      *obs.Counter
 	profileSwaps    *obs.Counter
+	queueWait       *obs.Histogram
+	publishLatency  *obs.Histogram
+	staleness       *obs.Histogram
 }
+
+// stalenessSeriesCap bounds the per-tag staleness series retained for the
+// dashboard sparkline.
+const stalenessSeriesCap = 128
 
 // session is the per-tag state: the ring-buffered window plus dispatch
 // book-keeping. All fields are guarded by the engine mutex, except solver,
@@ -258,6 +277,17 @@ type session struct {
 	latestBuf Estimate      // backing storage for latest (reused)
 	pubSol    core.Solution // published copy of a factory solver's Solution
 	lastTrace []obs.Event
+
+	// Pipeline-trace state of the most recent accepted sample, pinned into
+	// the snapshot at dispatch. origin is the staleness zero point (router
+	// receive wall clock, or local accept when standalone); accepted is the
+	// local accept wall clock the queue-wait measurement starts from.
+	tc       obs.TraceContext
+	origin   time.Time
+	accepted time.Time
+	// stale is the per-tag recent staleness series (seconds), feeding the
+	// dashboard sparkline. Allocated once at session creation; Add is free.
+	stale *stats.Recorder
 }
 
 // snapshot is one frozen window awaiting a solve. Snapshots are pooled on the
@@ -279,12 +309,20 @@ type snapshot struct {
 	profOffset  float64
 	profVersion uint64
 	profActive  bool
+
+	// Trace state pinned under e.mu when the window was frozen: the
+	// estimate this snapshot produces is attributed to the trace (and
+	// staleness origin) of the newest sample in the window.
+	tc       obs.TraceContext
+	origin   time.Time
+	accepted time.Time
 }
 
 // solved carries a finished solve through the pool's Outcome.Value.
 type solved struct {
 	sol     *core.Solution
 	err     error
+	start   time.Time // solve start wall clock (queue-wait end)
 	latency time.Duration
 	trace   []obs.Event
 }
@@ -327,6 +365,12 @@ func New(cfg Config) (*Engine, error) {
 		latency:     reg.Histogram("lion_stream_solve_latency_seconds", "Wall time of one window solve.", obs.DefBuckets),
 		profileSwaps: reg.Counter("lion_stream_profile_swaps_total",
 			"Antenna profile hot-swaps applied to the engine."),
+		queueWait: reg.Histogram("lion_stream_queue_wait_seconds",
+			"Wall time from sample accept to the start of the solve it triggered.", obs.DefBuckets),
+		publishLatency: reg.Histogram("lion_stream_publish_latency_seconds",
+			"Wall time from solve completion to estimate publication.", obs.DefBuckets),
+		staleness: reg.Histogram("lion_stream_staleness_seconds",
+			"Age of an estimate at publication, measured from its origin ingest wall clock (router receive when available).", obs.DefBuckets),
 	}
 	if cfg.Profile != nil {
 		if err := cfg.Profile.validate(cfg.Antenna); err != nil {
@@ -391,12 +435,13 @@ func (e *Engine) Ingest(tag string, s Sample) error {
 		e.rejected.Inc()
 		return fmt.Errorf("%w: tag %q at t=%v", ErrBadSample, tag, s.Time)
 	}
+	now := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return ErrClosed
 	}
-	return e.ingestLocked(tag, s)
+	return e.ingestLocked(tag, s, obs.TraceContext{}, now, now)
 }
 
 // Tagged couples a tag id with one sample for batched ingest.
@@ -414,6 +459,23 @@ type Tagged struct {
 // error returned is ErrClosed, with accepted/dropped covering the samples
 // processed before the engine closed.
 func (e *Engine) IngestTagged(batch []Tagged) (accepted, dropped int, err error) {
+	return e.IngestTaggedTraced(batch, obs.TraceContext{}, time.Time{})
+}
+
+// IngestTaggedTraced is IngestTagged carrying pipeline-trace context. tc is
+// the trace decision made upstream (the sampling router, or a local sampler);
+// origin is the staleness zero point — the wall clock at which the batch
+// first entered the pipeline (the router's receive time for forwarded
+// batches). A zero origin means the batch entered here: local accept time is
+// used. Estimates triggered by this batch inherit tc and origin; when tc is
+// sampled, Config.Spans receives their queue-wait/solve/publish spans and the
+// staleness histogram gets an exemplar. An unsampled tc costs nothing beyond
+// one clock read per batch.
+func (e *Engine) IngestTaggedTraced(batch []Tagged, tc obs.TraceContext, origin time.Time) (accepted, dropped int, err error) {
+	now := time.Now()
+	if origin.IsZero() {
+		origin = now
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, ts := range batch {
@@ -429,7 +491,7 @@ func (e *Engine) IngestTagged(batch []Tagged) (accepted, dropped int, err error)
 			dropped++
 			continue
 		}
-		if e.ingestLocked(ts.Tag, ts.Sample) != nil {
+		if e.ingestLocked(ts.Tag, ts.Sample, tc, origin, now) != nil {
 			dropped++
 			continue
 		}
@@ -439,11 +501,12 @@ func (e *Engine) IngestTagged(batch []Tagged) (accepted, dropped int, err error)
 }
 
 // ingestLocked applies one validated sample to its session. The caller holds
-// e.mu and has checked closed, tag, and finiteness.
-func (e *Engine) ingestLocked(tag string, s Sample) error {
+// e.mu and has checked closed, tag, and finiteness. tc/origin/accepted are
+// the pipeline-trace context and clocks of the enclosing batch.
+func (e *Engine) ingestLocked(tag string, s Sample, tc obs.TraceContext, origin, accepted time.Time) error {
 	sess := e.sessions[tag]
 	if sess == nil {
-		sess = &session{tag: tag, buf: make([]Sample, e.cfg.WindowSize)}
+		sess = &session{tag: tag, buf: make([]Sample, e.cfg.WindowSize), stale: stats.NewRecorder(stalenessSeriesCap)}
 		if e.cfg.SolverFactory != nil {
 			sess.solver = e.cfg.SolverFactory()
 		}
@@ -471,6 +534,9 @@ func (e *Engine) ingestLocked(tag string, s Sample) error {
 	}
 	sess.push(s)
 	sess.since++
+	sess.tc = tc
+	sess.origin = origin
+	sess.accepted = accepted
 	e.ingested.Inc()
 	e.cfg.Monitor.ObserveSample(e.cfg.Antenna, s.Time, s.Pos, s.Phase)
 	if sess.n >= e.cfg.minSamples() && sess.since >= e.cfg.solveEvery() {
@@ -510,6 +576,18 @@ func (e *Engine) Tags() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// StalenessSeries returns the tag's recent per-estimate staleness values in
+// seconds, oldest first (at most stalenessSeriesCap points) — the dashboard
+// sparkline feed. Nil when the tag is unknown or has published nothing.
+func (e *Engine) StalenessSeries(tag string) []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if sess := e.sessions[tag]; sess != nil {
+		return sess.stale.Snapshot()
+	}
+	return nil
 }
 
 // WindowLen returns the current window length for the tag.
@@ -647,6 +725,9 @@ func (e *Engine) getSnapLocked(sess *session) *snapshot {
 	snap.profOffset = e.profile.Offset
 	snap.profVersion = e.profVersion
 	snap.profActive = e.profActive
+	snap.tc = sess.tc
+	snap.origin = sess.origin
+	snap.accepted = sess.accepted
 	snap.samples = snap.samples[:0]
 	for i := 0; i < sess.n; i++ {
 		snap.samples = append(snap.samples, sess.at(i))
@@ -710,6 +791,7 @@ func (snap *snapshot) solve(ctx context.Context) (any, error) {
 	}
 	snap.applyProfile()
 	begin := time.Now()
+	mark := tr.SpanAt("window_solve")
 	var sol *core.Solution
 	var serr error
 	if s := snap.sess.solver; s != nil {
@@ -717,7 +799,8 @@ func (snap *snapshot) solve(ctx context.Context) (any, error) {
 	} else {
 		sol, serr = SolveWindow(snap.samples, e.cfg.Smooth, e.cfg.Solver, tr)
 	}
-	snap.sv = solved{sol: sol, err: serr, latency: time.Since(begin), trace: tr.Events()}
+	mark.End()
+	snap.sv = solved{sol: sol, err: serr, start: begin, latency: time.Since(begin), trace: tr.Events()}
 	return &snap.sv, nil
 }
 
@@ -741,6 +824,11 @@ func (e *Engine) complete(snap *snapshot, o batch.Outcome) {
 		Latency:        sv.latency,
 		ProfileVersion: snap.profVersion,
 	}
+	if !sv.start.IsZero() && !snap.accepted.IsZero() {
+		if qw := sv.start.Sub(snap.accepted); qw > 0 {
+			est.QueueWait = qw
+		}
+	}
 	if len(snap.samples) > 0 {
 		est.From = snap.samples[0].Time
 		est.To = snap.samples[len(snap.samples)-1].Time
@@ -763,6 +851,38 @@ func (e *Engine) complete(snap *snapshot, o batch.Outcome) {
 	}
 	if sv.latency > 0 {
 		e.latency.Observe(sv.latency.Seconds())
+	}
+	// SLO clocks: queue wait (accept → solve start), publish latency (solve
+	// end → now), and staleness (origin → now). All three observe into
+	// preallocated histogram rings; the exemplar and span writes engage only
+	// for sampled traces, so the untraced path stays allocation-free.
+	now := time.Now()
+	if est.QueueWait > 0 {
+		e.queueWait.Observe(est.QueueWait.Seconds())
+	}
+	var solveEnd time.Time
+	if !sv.start.IsZero() {
+		solveEnd = sv.start.Add(sv.latency)
+		if pl := now.Sub(solveEnd); pl > 0 {
+			e.publishLatency.Observe(pl.Seconds())
+		}
+	}
+	if !snap.origin.IsZero() {
+		stale := now.Sub(snap.origin)
+		if stale < 0 {
+			stale = 0
+		}
+		e.staleness.ObserveExemplar(stale.Seconds(), snap.tc)
+		sess.stale.Add(stale.Seconds())
+	}
+	if l := e.cfg.Spans; l != nil && snap.tc.Sampled {
+		if est.QueueWait > 0 {
+			l.Record(snap.tc, "queue_wait", snap.tag, snap.accepted, est.QueueWait)
+		}
+		if !sv.start.IsZero() {
+			l.Record(snap.tc, "solve", snap.tag, sv.start, sv.latency)
+			l.Record(snap.tc, "publish", snap.tag, solveEnd, now.Sub(solveEnd))
+		}
 	}
 	for _, ch := range e.subs {
 		select {

@@ -32,14 +32,43 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add(append([]byte{magic0, magic1, Version, 0, 5}, 0x80, 0x80, 0x80, 0x80, 0x01))
 	// Two concatenated valid frames exercise the streaming reader.
 	f.Add(append(bytes.Clone(valid), valid...))
+	// Trace-extension seeds: a valid flagged frame, the flagged frame
+	// truncated at every byte of the 16-byte extension (header is 4 magic
+	// bytes + a 2-byte payload-length varint here), a flagged frame whose
+	// payload is shorter than the extension, and undefined flag bits.
+	ext := Ext{TraceID: 0x0123456789abcdef, RouterRecvUnixNano: 1 << 40}
+	traced, err := AppendFrameExt(nil, goldenSamples(), &ext)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(traced)
+	headLen := 4
+	for traced[headLen]&0x80 != 0 {
+		headLen++
+	}
+	headLen++ // past the final payload-length varint byte
+	for i := 0; i <= extBytes; i++ {
+		f.Add(bytes.Clone(traced[:headLen+i]))
+	}
+	f.Add(appendFramed(nil, FlagTrace, []byte{1, 2, 3}))
+	f.Add(mutate(valid, 3, 0x80))
+	f.Add(mutate(traced, 3, 0x81))
+	// A traced frame followed by a plain frame exercises TraceExt reset.
+	f.Add(append(bytes.Clone(traced), valid...))
 
 	f.Fuzz(func(t *testing.T, b []byte) {
-		samples, n, err := DecodeFrame(b, nil)
+		samples, fext, n, err := DecodeFrameExt(b, nil)
 		if err != nil {
 			if n != 0 {
 				t.Fatalf("error %v with %d bytes consumed", err, n)
 			}
 			return
+		}
+		if fext != nil && b[3]&FlagTrace == 0 {
+			t.Fatalf("unflagged frame produced extension %+v", fext)
+		}
+		if fext == nil && b[3]&FlagTrace != 0 {
+			t.Fatal("flagged frame decoded without an extension")
 		}
 		if n <= 0 || n > len(b) {
 			t.Fatalf("consumed %d of %d bytes", n, len(b))
@@ -91,6 +120,10 @@ func FuzzWireDecode(f *testing.F) {
 		}
 		if len(streamed) != len(samples) {
 			t.Fatalf("Reader decoded %d samples, DecodeFrame %d", len(streamed), len(samples))
+		}
+		rext := rd.TraceExt()
+		if (rext == nil) != (fext == nil) || (rext != nil && *rext != *fext) {
+			t.Fatalf("Reader ext %+v disagrees with DecodeFrameExt %+v", rext, fext)
 		}
 	})
 }

@@ -10,12 +10,15 @@
 //	0       1         magic 'L' (0x4C)
 //	1       1         magic 'W' (0x57)
 //	2       1         version (1)
-//	3       1         flags (must be 0 in version 1)
+//	3       1         flags (bit 0 = trace extension; other bits must be 0)
 //	4       uvarint   payload length in bytes
 //	...     payload
 //
-// Payload:
+// Payload (when flags bit 0 — FlagTrace — is set, a fixed 16-byte trace
+// extension precedes the tag table and is counted in the payload length):
 //
+//	8 bytes   trace id            uint64 LE   (FlagTrace only)
+//	8 bytes   router receive time int64 LE, unix nanoseconds (FlagTrace only)
 //	uvarint   tagCount, then tagCount × { uvarint len; len bytes UTF-8 }
 //	uvarint   sampleCount, then sampleCount × sample record
 //
@@ -83,6 +86,52 @@ const (
 	magic1 = 'W'
 )
 
+// FlagTrace marks a frame carrying the 16-byte trace extension at the start
+// of its payload: the pipeline trace id and the router's receive timestamp.
+// It is the only defined flag bit; frames with any other bit set are corrupt.
+//
+// Compatibility: decoders predating this flag reject flagged frames
+// (non-zero flags were ErrCorrupt in the original version 1), so senders must
+// negotiate — lionroute only flags frames for shards whose /readyz advertises
+// "wire_trace": true, and plain frames remain byte-identical to the original
+// layout.
+const FlagTrace byte = 0x01
+
+// flagMask is the union of all defined flag bits.
+const flagMask = FlagTrace
+
+// extBytes is the fixed size of the trace extension.
+const extBytes = 16
+
+// Ext is the decoded trace extension of one flagged frame.
+type Ext struct {
+	// TraceID is the pipeline trace id assigned by the sampling router.
+	TraceID uint64
+	// RouterRecvUnixNano is the wall clock at which the router accepted the
+	// batch, unix nanoseconds — the zero point of the end-to-end staleness
+	// clock for the samples in this frame.
+	RouterRecvUnixNano int64
+}
+
+// appendExt encodes the trace extension.
+func appendExt(dst []byte, ext *Ext) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, ext.TraceID)
+	return binary.LittleEndian.AppendUint64(dst, uint64(ext.RouterRecvUnixNano))
+}
+
+// decodeExt splits the trace extension off the front of a flagged payload.
+func decodeExt(p []byte) (*Ext, []byte, error) {
+	if len(p) < extBytes {
+		return nil, p, fmt.Errorf("%w: %d payload bytes for a %d-byte trace extension",
+			ErrCorrupt, len(p), extBytes)
+	}
+	ext := &Ext{
+		TraceID:            binary.LittleEndian.Uint64(p[0:]),
+		RouterRecvUnixNano: int64(binary.LittleEndian.Uint64(p[8:])),
+	}
+	return ext, p[extBytes:], nil
+}
+
 // Errors returned by the decoder. ErrTruncated means the input ended inside
 // a frame — a streaming caller that buffers may read more and retry; all
 // other errors are permanent for that stream.
@@ -101,16 +150,29 @@ var (
 // stay within MaxPayloadBytes. Callers with larger batches split them across
 // frames (Writer does this automatically).
 func AppendFrame(dst []byte, samples []dataset.TaggedSample) ([]byte, error) {
-	payload, err := appendPayload(nil, samples)
+	return AppendFrameExt(dst, samples, nil)
+}
+
+// AppendFrameExt is AppendFrame with an optional trace extension: a non-nil
+// ext sets FlagTrace and prefixes the payload with the 16-byte extension. A
+// nil ext produces a plain frame, byte-identical to AppendFrame.
+func AppendFrameExt(dst []byte, samples []dataset.TaggedSample, ext *Ext) ([]byte, error) {
+	var payload []byte
+	var flags byte
+	if ext != nil {
+		payload = appendExt(nil, ext)
+		flags = FlagTrace
+	}
+	payload, err := appendPayload(payload, samples)
 	if err != nil {
 		return dst, err
 	}
-	return appendFramed(dst, payload), nil
+	return appendFramed(dst, flags, payload), nil
 }
 
 // appendFramed wraps an already-built payload in the frame header.
-func appendFramed(dst, payload []byte) []byte {
-	dst = append(dst, magic0, magic1, Version, 0)
+func appendFramed(dst []byte, flags byte, payload []byte) []byte {
+	dst = append(dst, magic0, magic1, Version, flags)
 	dst = binary.AppendUvarint(dst, uint64(len(payload)))
 	return append(dst, payload...)
 }
@@ -164,34 +226,52 @@ func appendPayload(dst []byte, samples []dataset.TaggedSample) ([]byte, error) {
 // When b holds the beginning of a valid frame but ends early, the error is
 // ErrTruncated (wrapped), and a buffering caller may retry with more bytes.
 func DecodeFrame(b []byte, into []dataset.TaggedSample) ([]dataset.TaggedSample, int, error) {
+	out, _, n, err := DecodeFrameExt(b, into)
+	return out, n, err
+}
+
+// DecodeFrameExt is DecodeFrame surfacing the trace extension of a flagged
+// frame: ext is nil for plain frames. Frames with undefined flag bits are
+// rejected with ErrCorrupt, exactly as all non-zero flags were before the
+// extension existed.
+func DecodeFrameExt(b []byte, into []dataset.TaggedSample) ([]dataset.TaggedSample, *Ext, int, error) {
 	if len(b) < 4 {
-		return into, 0, fmt.Errorf("%w: %d header bytes", ErrTruncated, len(b))
+		return into, nil, 0, fmt.Errorf("%w: %d header bytes", ErrTruncated, len(b))
 	}
 	if b[0] != magic0 || b[1] != magic1 {
-		return into, 0, fmt.Errorf("%w: % x", ErrBadMagic, b[:2])
+		return into, nil, 0, fmt.Errorf("%w: % x", ErrBadMagic, b[:2])
 	}
 	if b[2] != Version {
-		return into, 0, fmt.Errorf("%w: version %d (want %d)", ErrVersion, b[2], Version)
+		return into, nil, 0, fmt.Errorf("%w: version %d (want %d)", ErrVersion, b[2], Version)
 	}
-	if b[3] != 0 {
-		return into, 0, fmt.Errorf("%w: reserved flags byte %#x is non-zero", ErrCorrupt, b[3])
+	flags := b[3]
+	if flags&^flagMask != 0 {
+		return into, nil, 0, fmt.Errorf("%w: undefined flag bits %#x", ErrCorrupt, flags&^flagMask)
 	}
 	size, n := binary.Uvarint(b[4:])
 	if n == 0 {
-		return into, 0, fmt.Errorf("%w: payload length varint", ErrTruncated)
+		return into, nil, 0, fmt.Errorf("%w: payload length varint", ErrTruncated)
 	}
 	if n < 0 || size > MaxPayloadBytes {
-		return into, 0, fmt.Errorf("%w: payload length %d (max %d)", ErrTooLarge, size, MaxPayloadBytes)
+		return into, nil, 0, fmt.Errorf("%w: payload length %d (max %d)", ErrTooLarge, size, MaxPayloadBytes)
 	}
 	head := 4 + n
 	if uint64(len(b)-head) < size {
-		return into, 0, fmt.Errorf("%w: payload %d of %d bytes", ErrTruncated, len(b)-head, size)
+		return into, nil, 0, fmt.Errorf("%w: payload %d of %d bytes", ErrTruncated, len(b)-head, size)
 	}
-	out, err := decodePayload(b[head:head+int(size)], into)
+	payload := b[head : head+int(size)]
+	var ext *Ext
+	if flags&FlagTrace != 0 {
+		var err error
+		if ext, payload, err = decodeExt(payload); err != nil {
+			return into, nil, 0, err
+		}
+	}
+	out, err := decodePayload(payload, into)
 	if err != nil {
-		return into, 0, err
+		return into, nil, 0, err
 	}
-	return out, head + int(size), nil
+	return out, ext, head + int(size), nil
 }
 
 // decodePayload parses the tag table and sample records of one frame.
@@ -341,15 +421,31 @@ func NewWriter(w io.Writer, batch int) *Writer {
 
 // WriteBatch encodes samples as one or more frames and writes them out.
 func (wr *Writer) WriteBatch(samples []dataset.TaggedSample) error {
+	return wr.WriteBatchExt(samples, nil)
+}
+
+// WriteBatchExt is WriteBatch with an optional trace extension: a non-nil ext
+// is carried on every emitted frame (a split batch stays one traced unit). A
+// nil ext emits plain frames. Send flagged frames only to decoders that
+// negotiated FlagTrace support.
+func (wr *Writer) WriteBatchExt(samples []dataset.TaggedSample, ext *Ext) error {
+	var flags byte
+	if ext != nil {
+		flags = FlagTrace
+	}
 	for len(samples) > 0 {
 		n := min(len(samples), wr.batch)
-		payload, err := appendPayload(wr.scratch[:0], samples[:n])
+		payload := wr.scratch[:0]
+		if ext != nil {
+			payload = appendExt(payload, ext)
+		}
+		payload, err := appendPayload(payload, samples[:n])
 		if err != nil {
 			return err
 		}
 		wr.scratch = payload
 		var head [4 + binary.MaxVarintLen64]byte
-		head[0], head[1], head[2], head[3] = magic0, magic1, Version, 0
+		head[0], head[1], head[2], head[3] = magic0, magic1, Version, flags
 		hn := 4 + binary.PutUvarint(head[4:], uint64(len(payload)))
 		if _, err := wr.w.Write(head[:hn]); err != nil {
 			return err
@@ -366,6 +462,7 @@ func (wr *Writer) WriteBatch(samples []dataset.TaggedSample) error {
 type Reader struct {
 	r       *bufio.Reader
 	payload []byte
+	ext     *Ext // trace extension of the last frame read, nil when plain
 }
 
 // NewReader wraps r for frame-at-a-time reading.
@@ -373,10 +470,16 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReader(r)}
 }
 
+// TraceExt returns the trace extension of the most recently read frame, or
+// nil when that frame was plain (or nothing has been read yet).
+func (rd *Reader) TraceExt() *Ext { return rd.ext }
+
 // ReadBatch reads the next frame and appends its samples to into, returning
 // the extended slice. A clean end of stream returns io.EOF; a stream ending
-// inside a frame returns ErrTruncated.
+// inside a frame returns ErrTruncated. A flagged frame's trace extension is
+// retained until the next read (TraceExt).
 func (rd *Reader) ReadBatch(into []dataset.TaggedSample) ([]dataset.TaggedSample, error) {
+	rd.ext = nil
 	var head [4]byte
 	if _, err := io.ReadFull(rd.r, head[:1]); err != nil {
 		if errors.Is(err, io.EOF) {
@@ -393,8 +496,9 @@ func (rd *Reader) ReadBatch(into []dataset.TaggedSample) ([]dataset.TaggedSample
 	if head[2] != Version {
 		return into, fmt.Errorf("%w: version %d (want %d)", ErrVersion, head[2], Version)
 	}
-	if head[3] != 0 {
-		return into, fmt.Errorf("%w: reserved flags byte %#x is non-zero", ErrCorrupt, head[3])
+	flags := head[3]
+	if flags&^flagMask != 0 {
+		return into, fmt.Errorf("%w: undefined flag bits %#x", ErrCorrupt, flags&^flagMask)
 	}
 	size, err := binary.ReadUvarint(rd.r)
 	if err != nil {
@@ -410,6 +514,11 @@ func (rd *Reader) ReadBatch(into []dataset.TaggedSample) ([]dataset.TaggedSample
 	if _, err := io.ReadFull(rd.r, buf); err != nil {
 		return into, fmt.Errorf("%w: payload %d bytes", ErrTruncated, size)
 	}
+	if flags&FlagTrace != 0 {
+		if rd.ext, buf, err = decodeExt(buf); err != nil {
+			return into, err
+		}
+	}
 	return decodePayload(buf, into)
 }
 
@@ -418,18 +527,30 @@ func (rd *Reader) ReadBatch(into []dataset.TaggedSample) ([]dataset.TaggedSample
 // non-empty tag, finite fields, and an in-range timestamp, and the total is
 // bounded by dataset.MaxIngestSamples.
 func DecodeIngest(r io.Reader) ([]dataset.TaggedSample, error) {
+	out, _, err := DecodeIngestExt(r)
+	return out, err
+}
+
+// DecodeIngestExt is DecodeIngest surfacing the trace extension: ext is the
+// first extension seen in the stream (a router-traced request carries the
+// same extension on every frame of the batch), or nil for plain streams.
+func DecodeIngestExt(r io.Reader) ([]dataset.TaggedSample, *Ext, error) {
 	rd := NewReader(r)
 	var out []dataset.TaggedSample
+	var ext *Ext
 	for {
 		next, err := rd.ReadBatch(out)
 		if errors.Is(err, io.EOF) {
-			return out, nil
+			return out, ext, nil
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		if ext == nil {
+			ext = rd.TraceExt()
 		}
 		if len(next) > dataset.MaxIngestSamples {
-			return nil, fmt.Errorf("%w: over %d samples", dataset.ErrIngestTooLarge, dataset.MaxIngestSamples)
+			return nil, nil, fmt.Errorf("%w: over %d samples", dataset.ErrIngestTooLarge, dataset.MaxIngestSamples)
 		}
 		out = next
 	}

@@ -24,12 +24,9 @@ func goldenSamples() []dataset.TaggedSample {
 	}
 }
 
-// goldenFrameHex freezes the version-1 frame layout byte for byte. Any
-// change to the header, varint placement, field order, or float encoding
-// fails here until the golden (and DESIGN.md section 12) is updated
-// deliberately — the wire format is a cross-process compatibility contract.
-const goldenFrameHex = "4c570100a101" + // 'L' 'W' version=1 flags=0 payload=161 (varint a1 01)
-	"02" + // 2 tags
+// goldenPayloadHex is the encoded payload (tag table + sample records) of
+// goldenSamples, shared by the plain and traced frame goldens.
+const goldenPayloadHex = "02" + // 2 tags
 	"025431" + "025432" + // "T1", "T2"
 	"03" + // 3 samples
 	"00" + "000000000000d03f" + "000000000000f03f" + "00000000000000c0" +
@@ -38,6 +35,25 @@ const goldenFrameHex = "4c570100a101" + // 'L' 'W' version=1 flags=0 payload=161
 	"0000000000000000" + "000000000000f8bf" + "0000000000000000" + "03" + "00" +
 	"00" + "000000000000e83f" + "333333333333d33f" + "9a9999999999e93f" +
 	"9a9999999999d93f" + "0000000000000140" + "0000000000004ec0" + "02" + "0e"
+
+// goldenFrameHex freezes the version-1 frame layout byte for byte. Any
+// change to the header, varint placement, field order, or float encoding
+// fails here until the golden (and DESIGN.md section 12) is updated
+// deliberately — the wire format is a cross-process compatibility contract.
+const goldenFrameHex = "4c570100a101" + // 'L' 'W' version=1 flags=0 payload=161 (varint a1 01)
+	goldenPayloadHex
+
+// goldenExt is the fixed trace extension used by the traced golden.
+var goldenExt = Ext{TraceID: 0x0123456789abcdef, RouterRecvUnixNano: 1_000_000_000_000_000_000}
+
+// goldenTracedFrameHex freezes the FlagTrace layout: flags=0x01, the payload
+// length grows by the fixed 16-byte extension (161+16=177, varint b1 01), and
+// the extension (trace id then router receive nanos, both little-endian)
+// precedes the unchanged tag table.
+const goldenTracedFrameHex = "4c570101b101" + // 'L' 'W' version=1 flags=1 payload=177
+	"efcdab8967452301" + // trace id 0x0123456789abcdef LE
+	"000064a7b3b6e00d" + // router recv 1e18 ns LE
+	goldenPayloadHex
 
 func TestWireGolden(t *testing.T) {
 	b, err := AppendFrame(nil, goldenSamples())
@@ -61,6 +77,99 @@ func TestWireGolden(t *testing.T) {
 	}
 	if !reflect.DeepEqual(out, goldenSamples()) {
 		t.Errorf("golden decode mismatch:\n got  %+v\n want %+v", out, goldenSamples())
+	}
+	// A plain frame decodes with a nil extension through the Ext API too.
+	_, ext, _, err := DecodeFrameExt(raw, nil)
+	if err != nil || ext != nil {
+		t.Errorf("plain frame ext = %+v, err = %v, want nil/nil", ext, err)
+	}
+}
+
+func TestWireTracedGolden(t *testing.T) {
+	ext := goldenExt
+	b, err := AppendFrameExt(nil, goldenSamples(), &ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(b); got != goldenTracedFrameHex {
+		t.Errorf("traced frame layout changed:\n got  %s\n want %s", got, goldenTracedFrameHex)
+	}
+	raw, err := hex.DecodeString(goldenTracedFrameHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, gotExt, n, err := DecodeFrameExt(raw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(raw) {
+		t.Errorf("consumed %d of %d bytes", n, len(raw))
+	}
+	if gotExt == nil || *gotExt != goldenExt {
+		t.Errorf("decoded ext = %+v, want %+v", gotExt, goldenExt)
+	}
+	if !reflect.DeepEqual(out, goldenSamples()) {
+		t.Errorf("traced golden decode mismatch:\n got  %+v\n want %+v", out, goldenSamples())
+	}
+	// DecodeFrame (the ext-blind entry point) still decodes the samples.
+	out2, n2, err := DecodeFrame(raw, nil)
+	if err != nil || n2 != len(raw) || !reflect.DeepEqual(out2, goldenSamples()) {
+		t.Errorf("DecodeFrame on traced frame: n=%d err=%v", n2, err)
+	}
+}
+
+// TestWriterReaderTraceExt proves the stream path carries the extension on
+// every frame of a split batch, that TraceExt resets on a following plain
+// frame, and that DecodeIngestExt surfaces the first extension seen.
+func TestWriterReaderTraceExt(t *testing.T) {
+	var in []dataset.TaggedSample
+	for i := 0; i < 300; i++ {
+		in = append(in, dataset.TaggedSample{Tag: "T1", TimeS: float64(i) * 0.01, Phase: 1})
+	}
+	var buf bytes.Buffer
+	wr := NewWriter(&buf, 128) // forces a 3-frame split
+	ext := goldenExt
+	if err := wr.WriteBatchExt(in, &ext); err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.WriteBatch(goldenSamples()); err != nil { // plain tail frame
+		t.Fatal(err)
+	}
+
+	rd := NewReader(bytes.NewReader(buf.Bytes()))
+	var out []dataset.TaggedSample
+	frames := 0
+	for {
+		next, err := rd.ReadBatch(out[:0])
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames++
+		if frames <= 3 {
+			if got := rd.TraceExt(); got == nil || *got != goldenExt {
+				t.Fatalf("frame %d ext = %+v, want %+v", frames, rd.TraceExt(), goldenExt)
+			}
+		} else if rd.TraceExt() != nil {
+			t.Fatalf("plain frame %d carries ext %+v", frames, rd.TraceExt())
+		}
+		out = next
+	}
+	if frames != 4 {
+		t.Fatalf("read %d frames, want 4", frames)
+	}
+
+	samples, gotExt, err := DecodeIngestExt(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotExt == nil || *gotExt != goldenExt {
+		t.Errorf("DecodeIngestExt ext = %+v, want %+v", gotExt, goldenExt)
+	}
+	if len(samples) != len(in)+len(goldenSamples()) {
+		t.Errorf("decoded %d samples, want %d", len(samples), len(in)+len(goldenSamples()))
 	}
 }
 
@@ -156,7 +265,9 @@ func TestDecodeFrameRejects(t *testing.T) {
 		{"short header", good[:3], ErrTruncated},
 		{"bad magic", append([]byte("XY"), good[2:]...), ErrBadMagic},
 		{"future version", mutate(good, 2, 9), ErrVersion},
-		{"nonzero flags", mutate(good, 3, 1), ErrCorrupt},
+		{"undefined flag bits", mutate(good, 3, 0x80), ErrCorrupt},
+		{"undefined flag alongside trace flag", mutate(good, 3, 0x81), ErrCorrupt},
+		{"flagged frame with payload shorter than ext", flaggedShortExt(), ErrCorrupt},
 		{"truncated payload", good[:len(good)-5], ErrTruncated},
 		{"oversized length", appendUvarintFrame(MaxPayloadBytes + 1), ErrTooLarge},
 		{"trailing garbage inside payload", growPayload(good), ErrCorrupt},
@@ -199,7 +310,13 @@ func growPayload(frame []byte) []byte {
 		panic(err)
 	}
 	payload = append(payload, 0x00)
-	return appendFramed(nil, payload)
+	return appendFramed(nil, 0, payload)
+}
+
+// flaggedShortExt builds a frame with FlagTrace set whose whole payload is
+// smaller than the 16-byte trace extension.
+func flaggedShortExt() []byte {
+	return appendFramed(nil, FlagTrace, []byte{0x01, 0x02, 0x03})
 }
 
 func TestDecodeRejectsNonFinite(t *testing.T) {

@@ -2,7 +2,9 @@
 // registered through the obs registry (Counter, CounterVec, Gauge, GaugeFunc,
 // GaugeVec, Histogram calls with a literal name) must match ^lion_[a-z_]+$
 // and appear in DESIGN.md's observability section; vec label names must be
-// valid Prometheus label identifiers. Label cardinality is also policed:
+// valid Prometheus label identifiers; counters must end in _total and
+// histograms in _seconds or _bytes (the Prometheus unit conventions).
+// Label cardinality is also policed:
 // a `.With(x)` call where x is not a string literal mints a time series per
 // distinct runtime value, so it must carry a
 //
@@ -32,15 +34,18 @@ var (
 )
 
 // registerFuncs are the obs.Registry methods that take a metric name as
-// their first argument. The value is the index of the label-name argument,
-// or -1 for unlabelled metrics.
-var registerFuncs = map[string]int{
-	"Counter":    -1,
-	"CounterVec": 2,
-	"Gauge":      -1,
-	"GaugeFunc":  -1,
-	"GaugeVec":   2,
-	"Histogram":  -1,
+// their first argument: the index of the label-name argument (-1 for
+// unlabelled metrics) and the metric kind, which drives the unit-suffix rule.
+var registerFuncs = map[string]struct {
+	labelArg int
+	kind     string
+}{
+	"Counter":    {-1, "counter"},
+	"CounterVec": {2, "counter"},
+	"Gauge":      {-1, "gauge"},
+	"GaugeFunc":  {-1, "gauge"},
+	"GaugeVec":   {2, "gauge"},
+	"Histogram":  {-1, "histogram"},
 }
 
 func main() {
@@ -67,9 +72,10 @@ func main() {
 }
 
 // report is the lint result: the registered metrics (name -> "file:line" of
-// first registration) and the sorted list of violations.
+// first registration), their kinds, and the sorted list of violations.
 type report struct {
 	metrics map[string]string
+	kinds   map[string]string
 	issues  []string
 }
 
@@ -97,6 +103,22 @@ func lint(root string) (*report, error) {
 			rep.issues = append(rep.issues, fmt.Sprintf("%s: metric %q is not documented in DESIGN.md",
 				rep.metrics[name], name))
 		}
+		// Unit suffixes, per the Prometheus naming conventions: counters
+		// count events (_total); histograms here observe durations or sizes
+		// (_seconds/_bytes). Gauges are exempt — they report instantaneous
+		// levels in whatever unit the name states.
+		switch rep.kinds[name] {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				rep.issues = append(rep.issues, fmt.Sprintf(
+					"%s: counter %q must end in _total", rep.metrics[name], name))
+			}
+		case "histogram":
+			if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+				rep.issues = append(rep.issues, fmt.Sprintf(
+					"%s: histogram %q must end in _seconds or _bytes", rep.metrics[name], name))
+			}
+		}
 	}
 	sort.Strings(rep.issues)
 	return rep, nil
@@ -106,7 +128,7 @@ func lint(root string) (*report, error) {
 // (bad label names, unmarked dynamic .With values). The obs package itself
 // (registry internals, tests) and vendored trees are skipped.
 func collect(root string) (*report, error) {
-	rep := &report{metrics: make(map[string]string)}
+	rep := &report{metrics: make(map[string]string), kinds: make(map[string]string)}
 	fset := token.NewFileSet()
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -176,7 +198,7 @@ func lintFile(fset *token.FileSet, path string, file *ast.File, rep *report) {
 			}
 			return true
 		}
-		labelArg, registers := registerFuncs[sel.Sel.Name]
+		reg, registers := registerFuncs[sel.Sel.Name]
 		if !registers {
 			return true
 		}
@@ -188,9 +210,10 @@ func lintFile(fset *token.FileSet, path string, file *ast.File, rep *report) {
 		}
 		if _, seen := rep.metrics[name]; !seen {
 			rep.metrics[name] = fmt.Sprintf("%s:%d", path, pos.Line)
+			rep.kinds[name] = reg.kind
 		}
-		if labelArg >= 0 && labelArg < len(call.Args) {
-			if label, ok := stringLit(call.Args[labelArg]); ok && !labelRE.MatchString(label) {
+		if reg.labelArg >= 0 && reg.labelArg < len(call.Args) {
+			if label, ok := stringLit(call.Args[reg.labelArg]); ok && !labelRE.MatchString(label) {
 				rep.issues = append(rep.issues, fmt.Sprintf(
 					"%s:%d: metric %q label %q does not match %s",
 					path, pos.Line, name, label, labelRE))

@@ -91,10 +91,52 @@ func setup(reg *Registry, label string) {
 			t.Errorf("missing issue %q in %v", want, rep.issues)
 		}
 	}
-	// 7 total: the reasonless marker is itself an issue AND does not bless
-	// the .With below it, so that call is flagged too.
-	if len(rep.issues) != 7 {
-		t.Errorf("got %d issues, want 7: %v", len(rep.issues), rep.issues)
+	// 8 total: the reasonless marker is itself an issue AND does not bless
+	// the .With below it, so that call is flagged too; lion_BadName also
+	// fails the counter _total suffix rule.
+	if len(rep.issues) != 8 {
+		t.Errorf("got %d issues, want 8: %v", len(rep.issues), rep.issues)
+	}
+}
+
+// TestLintUnitSuffixes pins the unit-suffix rule: counters need _total,
+// histograms need _seconds or _bytes, gauges carry no suffix requirement.
+func TestLintUnitSuffixes(t *testing.T) {
+	root := write(t, map[string]string{
+		"DESIGN.md": "lion_jobs lion_wait lion_batch_bytes lion_depth lion_ok_total lion_dur_seconds\n",
+		"pkg/a.go": `package a
+
+func setup(reg *Registry) {
+	reg.Counter("lion_jobs", "Counter without _total.")
+	reg.Histogram("lion_wait", "Histogram without a unit.", nil)
+	reg.Histogram("lion_batch_bytes", "Size histogram, fine.", nil)
+	reg.Gauge("lion_depth", "Gauge, exempt.")
+	reg.Counter("lion_ok_total", "Fine.")
+	reg.Histogram("lion_dur_seconds", "Fine.", nil)
+}
+`,
+	})
+	rep, err := lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`counter "lion_jobs" must end in _total`,
+		`histogram "lion_wait" must end in _seconds or _bytes`,
+	} {
+		found := false
+		for _, issue := range rep.issues {
+			if strings.Contains(issue, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing issue %q in %v", want, rep.issues)
+		}
+	}
+	if len(rep.issues) != 2 {
+		t.Errorf("got %d issues, want 2: %v", len(rep.issues), rep.issues)
 	}
 }
 
