@@ -2,16 +2,17 @@ GO ?= go
 
 ## BENCH_BASELINE: the committed lionbench snapshot bench-guard compares
 ## against. Bump when a PR lands a new snapshot.
-BENCH_BASELINE ?= BENCH_9.json
+BENCH_BASELINE ?= BENCH_10.json
 
-.PHONY: check fmt vet build test race bench bench-guard fuzz serve-smoke cluster-smoke recal-smoke metriclint
+.PHONY: check fmt vet build test race bench bench-guard fuzz serve-smoke cluster-smoke recal-smoke load-smoke metriclint
 
 ## check: the CI gate — formatting, vet, build, metric-name linting, the
 ## full suite under the race detector (includes the 1k-job batch stress test,
 ## the stream concurrent-publisher stress test, and the serial/parallel
 ## equivalence tests), the multi-process cluster smoke, the closed-loop
-## recalibration smoke, and the benchmark regression guard.
-check: fmt vet build metriclint race cluster-smoke recal-smoke bench-guard
+## recalibration smoke, the load-harness smoke, and the benchmark
+## regression guard.
+check: fmt vet build metriclint race cluster-smoke recal-smoke load-smoke bench-guard
 
 ## metriclint: every registered metric name matches lion_[a-z_]+ and is
 ## documented in DESIGN.md section 9.
@@ -65,6 +66,12 @@ cluster-smoke:
 ## metrics intact.
 recal-smoke:
 	$(GO) test ./cmd/liond -run TestRecalSmoke -count=1 -v
+
+## load-smoke: load-harness check — run the 2-phase smoke scenario against a
+## real liond process through the lionload CLI (open-loop paced fleet, SLO
+## scrape, macro merge) and assert the scored verdict passes.
+load-smoke:
+	$(GO) test ./cmd/lionload -run TestLoadSmokeLiond -count=1 -v
 
 ## fuzz: short fuzzing passes over the phase-wrap, preprocessing, and ingest
 ## decoding invariants (their seed corpora also run in every plain `go test`).

@@ -10,11 +10,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"runtime"
 	"testing"
 	"time"
 
+	"github.com/rfid-lion/lion/internal/benchfmt"
 	"github.com/rfid-lion/lion/internal/calib"
 	"github.com/rfid-lion/lion/internal/core"
 	"github.com/rfid-lion/lion/internal/dataset"
@@ -26,25 +26,6 @@ import (
 	"github.com/rfid-lion/lion/internal/stream"
 	"github.com/rfid-lion/lion/internal/wire"
 )
-
-// benchResult is one benchmark's measurements in the JSON snapshot.
-type benchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-}
-
-// benchSnapshot is the top-level -json document.
-type benchSnapshot struct {
-	Schema     string        `json:"schema"`
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	MaxProcs   int           `json:"gomaxprocs"`
-	Benchmarks []benchResult `json:"benchmarks"`
-}
 
 // benchObs builds the standard 120-read line scan used by every solver
 // micro-benchmark: tag marching along x at 0.4 m height, antenna at
@@ -389,8 +370,8 @@ func benchSuite() []struct {
 // writeBenchJSON runs the suite and writes the snapshot to path ("-" for
 // stdout).
 func writeBenchJSON(path string, stdout io.Writer) error {
-	snap := benchSnapshot{
-		Schema:    "lionbench/1",
+	snap := benchfmt.Snapshot{
+		Schema:    benchfmt.Schema,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -402,7 +383,7 @@ func writeBenchJSON(path string, stdout io.Writer) error {
 			b.ReportAllocs()
 			fn(b)
 		})
-		snap.Benchmarks = append(snap.Benchmarks, benchResult{
+		snap.Benchmarks = append(snap.Benchmarks, benchfmt.Bench{
 			Name:        bm.name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
@@ -412,18 +393,22 @@ func writeBenchJSON(path string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "bench %s: %d iters, %.0f ns/op, %d allocs/op\n",
 			bm.name, r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
 	}
-	out, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		return err
-	}
-	out = append(out, '\n')
 	if path == "-" {
-		_, err = stdout.Write(out)
-		return err
+		return writeSnapshotTo(stdout, &snap)
 	}
-	if err := os.WriteFile(path, out, 0o644); err != nil {
+	if err := snap.Write(path); err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "benchmark snapshot written to %s\n", path)
 	return nil
+}
+
+// writeSnapshotTo renders the snapshot to a stream, for -json -.
+func writeSnapshotTo(w io.Writer, snap *benchfmt.Snapshot) error {
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(out, '\n'))
+	return err
 }

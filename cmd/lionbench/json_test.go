@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/rfid-lion/lion/internal/benchfmt"
 )
 
 // TestRunJSONSnapshot drives the -json mode end to end: the file decodes,
@@ -28,7 +30,7 @@ func TestRunJSONSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var snap benchSnapshot
+	var snap benchfmt.Snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
 		t.Fatalf("snapshot decode: %v", err)
 	}

@@ -453,6 +453,7 @@ type server struct {
 	sampler      *obs.Sampler
 	wireTrace    bool
 	ingestDecode *obs.Histogram
+	ingestReq    *obs.Histogram
 }
 
 func newServer(eng *stream.Engine, mon *health.Monitor, ctrl *recal.Controller, cfg *config) *server {
@@ -470,6 +471,8 @@ func newServer(eng *stream.Engine, mon *health.Monitor, ctrl *recal.Controller, 
 	}
 	s.ingestDecode = eng.Registry().Histogram("lion_ingest_decode_seconds",
 		"Time decoding one POST /v1/samples body, wire or NDJSON.", obs.DefBuckets)
+	s.ingestReq = eng.Registry().Histogram("lion_http_ingest_seconds",
+		"Wall time of one POST /v1/samples request, receive to response.", obs.DefBuckets)
 	eng.Registry().GaugeFunc("lion_uptime_seconds", "Seconds since the daemon started.", func() float64 {
 		return time.Since(s.start).Seconds()
 	})
@@ -512,6 +515,10 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	recv := time.Now()
+	// The full request wall time — the server-side twin of a load
+	// generator's client-observed ingest latency (error paths included,
+	// since the client's clock cannot tell them apart).
+	defer func() { s.ingestReq.Observe(time.Since(recv).Seconds()) }()
 	body := http.MaxBytesReader(w, r.Body, maxIngestBody)
 	codec := dataset.SelectCodec(s.codecs, r.Header.Get("Content-Type"))
 	var (

@@ -4,9 +4,12 @@
 // windowed p50/p95/p99 of every pipeline latency dimension this daemon
 // measures, in exactly the shape lionroute's rollup parses — one
 // {"p50","p95","p99","count"} object per dimension plus a scalar
-// "alert_latency_seconds". Dimensions with no observations yet are omitted
-// rather than reported as zeros, so the rollup never mistakes an idle shard
-// for a fast one.
+// "alert_latency_seconds". Dimensions with no observations yet are reported
+// with an explicit zero count and zero quantiles — never omitted, and never
+// with garbage quantiles from an empty window. The zero count is the
+// consumer's signal: lionroute's rollup and lionload's scraper both treat
+// count==0 as "no evidence", so an idle shard can never be mistaken for a
+// fast one.
 package main
 
 import (
@@ -35,19 +38,32 @@ var sloDimensions = []struct{ key, metric string }{
 	{"solve_latency_seconds", "lion_stream_solve_latency_seconds"},
 	{"publish_latency_seconds", "lion_stream_publish_latency_seconds"},
 	{"ingest_decode_seconds", "lion_ingest_decode_seconds"},
+	{"ingest_request_seconds", "lion_http_ingest_seconds"},
 }
 
 func (s *server) handleSLO(w http.ResponseWriter, r *http.Request) {
 	doc := make(map[string]any, len(sloDimensions)+1)
 	for _, dim := range sloDimensions {
 		h, ok := s.eng.Registry().FindHistogram(dim.metric)
-		if !ok || h.Count() == 0 {
+		if !ok {
 			continue
 		}
+		// An empty window reports the explicit zero document. Quantile's ok
+		// flag gates every read so an empty window can never leak whatever an
+		// unobserved recorder would interpolate.
 		q := sloQuantiles{Count: h.Count()}
-		q.P50, _ = h.Quantile(0.50)
-		q.P95, _ = h.Quantile(0.95)
-		q.P99, _ = h.Quantile(0.99)
+		if q.Count > 0 {
+			// Histogram.Quantile takes a percentile in [0, 100].
+			if v, ok := h.Quantile(50); ok {
+				q.P50 = v
+			}
+			if v, ok := h.Quantile(95); ok {
+				q.P95 = v
+			}
+			if v, ok := h.Quantile(99); ok {
+				q.P99 = v
+			}
+		}
 		doc[dim.key] = q
 	}
 	if lat, ok := s.alertLatency(); ok {

@@ -118,7 +118,8 @@ func TestTracedWireIngest(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, dim := range []string{"staleness_seconds", "queue_wait_seconds",
-		"solve_latency_seconds", "publish_latency_seconds", "ingest_decode_seconds"} {
+		"solve_latency_seconds", "publish_latency_seconds", "ingest_decode_seconds",
+		"ingest_request_seconds"} {
 		q, ok := doc[dim]
 		if !ok || q.Count == 0 {
 			t.Errorf("/v1/slo %s = %+v (present %v)", dim, q, ok)

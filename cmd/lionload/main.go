@@ -1,0 +1,130 @@
+// Command lionload is the load harness CLI: it drives a synthetic tag fleet
+// from a scenario library against a liond node or a lionroute cluster on an
+// open-loop schedule, scrapes the target's /v1/slo and /metrics while doing
+// so, scores the run against the scenario's SLO targets, and exits non-zero
+// on a failed verdict.
+//
+//	lionload -target http://localhost:8080 -scenario portal -duration 10s
+//	lionload -target http://localhost:9000 -scenario smoke -merge BENCH_10.json
+//
+// The schedule is fixed before the first send (tick i due at start +
+// i·interval), so a stalling server inflates the recorded tail by the whole
+// backlog it caused — coordinated omission cannot hide it. See DESIGN.md §15.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/benchfmt"
+	"github.com/rfid-lion/lion/internal/dataset"
+	"github.com/rfid-lion/lion/internal/load"
+	"github.com/rfid-lion/lion/internal/wire"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lionload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lionload", flag.ContinueOnError)
+	var (
+		target   = fs.String("target", "", "base URL of a liond node or lionroute router (required)")
+		scenario = fs.String("scenario", "portal", "scenario name from the library (see -list)")
+		list     = fs.Bool("list", false, "list the scenario library and exit")
+		rate     = fs.Float64("rate", 0, "peak samples/sec (0 = scenario default)")
+		duration = fs.Duration("duration", 0, "total run length (0 = scenario default)")
+		batch    = fs.Int("batch", 64, "samples per POST")
+		workers  = fs.Int("workers", 2, "sender goroutines")
+		format   = fs.String("format", "wire", "ingest codec: wire or ndjson")
+		seed     = fs.Int64("seed", 1, "fleet generation seed")
+		scrape   = fs.Duration("scrape-every", time.Second, "/v1/slo + /metrics poll interval")
+		merge    = fs.String("merge", "", "merge the run's macro SLO fields into this BENCH_*.json snapshot")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, sc := range load.Scenarios() {
+			fmt.Fprintf(stdout, "%-10s %4d tags, %2d phases, peak %5.0f/s for %-4s  %s\n",
+				sc.Name, sc.Tags(), len(sc.Phases), sc.DefaultRate, sc.DefaultDuration, sc.Description)
+		}
+		return nil
+	}
+	if *target == "" {
+		return fmt.Errorf("-target is required (or -list)")
+	}
+	sc, err := load.Lookup(*scenario)
+	if err != nil {
+		return err
+	}
+	var codec dataset.Codec
+	switch *format {
+	case "wire":
+		codec = wire.Codec{}
+	case "ndjson":
+		codec = dataset.NDJSON{}
+	default:
+		return fmt.Errorf("unknown -format %q (want wire or ndjson)", *format)
+	}
+
+	res, err := load.Run(ctx, load.Config{
+		Target:      *target,
+		Scenario:    sc,
+		Rate:        *rate,
+		Duration:    *duration,
+		Batch:       *batch,
+		Workers:     *workers,
+		Codec:       codec,
+		ScrapeEvery: *scrape,
+		Seed:        *seed,
+	})
+	if err != nil {
+		return err
+	}
+	verdict := load.Evaluate(res)
+	load.Report(stdout, res, verdict)
+
+	if *merge != "" {
+		if err := mergeMacro(*merge, sc.Name, load.Macro(res, verdict)); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "macro SLO fields merged into %s\n", *merge)
+	}
+	if !verdict.Pass {
+		return fmt.Errorf("scenario %s failed its SLO verdict", sc.Name)
+	}
+	return nil
+}
+
+// mergeMacro folds the run's macro entries into a BENCH_*.json snapshot,
+// creating a minimal one when the file does not exist yet. Existing micro
+// benchmark entries and other scenarios' macro entries are preserved.
+func mergeMacro(path, scenario string, entries []benchfmt.Macro) error {
+	snap, err := benchfmt.Read(path)
+	if os.IsNotExist(err) {
+		snap = &benchfmt.Snapshot{
+			Schema:    benchfmt.Schema,
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			MaxProcs:  runtime.GOMAXPROCS(0),
+		}
+	} else if err != nil {
+		return err
+	}
+	snap.MergeMacro(scenario, entries)
+	return snap.Write(path)
+}

@@ -1,0 +1,289 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/benchfmt"
+	"github.com/rfid-lion/lion/internal/cluster"
+	"github.com/rfid-lion/lion/internal/load"
+	"github.com/rfid-lion/lion/internal/wire"
+)
+
+func TestRunFlags(t *testing.T) {
+	ctx := context.Background()
+	var buf bytes.Buffer
+
+	if err := run(ctx, []string{"-list"}, &buf); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	for _, name := range []string{"portal", "conveyor", "dockdoor", "turntable", "smoke"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("-list output missing scenario %q:\n%s", name, buf.String())
+		}
+	}
+
+	if err := run(ctx, nil, &buf); err == nil || !strings.Contains(err.Error(), "-target") {
+		t.Errorf("missing -target: err = %v", err)
+	}
+	if err := run(ctx, []string{"-target", "http://x", "-scenario", "nope"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown scenario: err = %v", err)
+	}
+	if err := run(ctx, []string{"-target", "http://x", "-format", "xml"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "xml") {
+		t.Errorf("unknown format: err = %v", err)
+	}
+}
+
+// The e2e tests below drive the real liond and lionroute binaries as
+// subprocesses, mirroring the harness in cmd/lionroute.
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func binaries(t *testing.T) (liond, lionroute string) {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "lionload-e2e-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", dir,
+			"github.com/rfid-lion/lion/cmd/liond",
+			"github.com/rfid-lion/lion/cmd/lionroute")
+		cmd.Dir = "../.."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("build: %v\n%s", err, out)
+			return
+		}
+		binDir = dir
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return filepath.Join(binDir, "liond"), filepath.Join(binDir, "lionroute")
+}
+
+type proc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+func (p *proc) base() string { return "http://" + p.addr }
+
+func startProc(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 1<<16), 1<<20)
+		for sc.Scan() {
+			var line struct {
+				Msg  string `json:"msg"`
+				Addr string `json:"addr"`
+			}
+			if json.Unmarshal(sc.Bytes(), &line) == nil && line.Msg == "listening" {
+				select {
+				case addrCh <- line.Addr:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &proc{cmd: cmd, addr: addr}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("%s never logged its listen address", bin)
+		return nil
+	}
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("%s never became ready", base)
+}
+
+var shardFlags = []string{
+	"-addr", "127.0.0.1:0",
+	"-intervals", "0.1", "-every", "32", "-workers", "1", "-monitor=false",
+}
+
+func writeClusterConfig(t *testing.T, shards []*proc) string {
+	t.Helper()
+	cfg := cluster.Config{}
+	for i, p := range shards {
+		cfg.Shards = append(cfg.Shards, cluster.ShardConfig{
+			ID:  fmt.Sprintf("s%d", i+1),
+			URL: p.base(),
+		})
+	}
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadSmokeLiond is the harness behind `make load-smoke`: the smoke
+// scenario against one real liond, run through the CLI entry point, with the
+// macro section merged into a fresh snapshot. The verdict must pass (run
+// returns nil only on a passing verdict).
+func TestLoadSmokeLiond(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	liond, _ := binaries(t)
+	node := startProc(t, liond, shardFlags...)
+	waitReady(t, node.base())
+
+	snapPath := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-target", node.base(),
+		"-scenario", "smoke",
+		"-duration", "2s",
+		"-rate", "300",
+		"-batch", "16",
+		"-workers", "1",
+		"-scrape-every", "250ms",
+		"-merge", snapPath,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("smoke run failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "verdict: PASS") {
+		t.Errorf("report missing passing verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "ramp") || !strings.Contains(out, "steady") {
+		t.Errorf("report missing per-phase rows:\n%s", out)
+	}
+
+	snap, err := benchfmt.Read(snapPath)
+	if err != nil {
+		t.Fatalf("merged snapshot: %v", err)
+	}
+	found := false
+	for _, m := range snap.Macro {
+		if m.Scenario == "smoke" && m.Metric == "ingest_p99" {
+			found = true
+			if !m.Pass() {
+				t.Errorf("merged macro entry fails its own target: %+v", m)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("snapshot has no smoke/ingest_p99 macro entry: %+v", snap.Macro)
+	}
+}
+
+// TestLoadClusterAgreement is the acceptance check: the portal scenario
+// against a router fronting two shards must produce a passing verdict whose
+// p99 agreement check actually ran — the client-observed ingest p99 and the
+// cluster's served ingest_request_seconds p99 agree within tolerance.
+func TestLoadClusterAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	liond, lionroute := binaries(t)
+	shards := []*proc{
+		startProc(t, liond, shardFlags...),
+		startProc(t, liond, shardFlags...),
+	}
+	for _, p := range shards {
+		waitReady(t, p.base())
+	}
+	router := startProc(t, lionroute, "-addr", "127.0.0.1:0", "-config", writeClusterConfig(t, shards))
+	waitReady(t, router.base())
+
+	sc, err := load.Lookup("portal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := load.Run(context.Background(), load.Config{
+		Target:      router.base(),
+		Scenario:    sc,
+		Rate:        400,
+		Duration:    6 * time.Second,
+		Batch:       32,
+		Workers:     1,
+		Codec:       wire.Codec{},
+		ScrapeEvery: 500 * time.Millisecond,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdict := load.Evaluate(res)
+	var report bytes.Buffer
+	load.Report(&report, res, verdict)
+	if !verdict.Pass {
+		t.Fatalf("portal verdict failed against the cluster:\n%s", report.String())
+	}
+
+	agreed := false
+	for _, c := range verdict.Checks {
+		if c.Name == "p99_agreement" {
+			if c.Skipped {
+				t.Fatalf("p99 agreement check was skipped — cluster /v1/slo served no "+
+					"ingest_request_seconds evidence:\n%s", report.String())
+			}
+			if !c.OK {
+				t.Fatalf("client and server p99 disagree: %s\n%s", c.Detail, report.String())
+			}
+			agreed = true
+		}
+	}
+	if !agreed {
+		t.Fatalf("verdict has no p99_agreement check: %+v", verdict.Checks)
+	}
+	if total := res.Recorder.Total(); total.Samples == 0 || total.Accepted == 0 {
+		t.Fatalf("no samples made it through the cluster: %+v", total)
+	}
+}

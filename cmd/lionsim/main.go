@@ -5,11 +5,19 @@
 // is displaced 2.5 cm from its mounting position:
 //
 //	lionsim -scenario threeline -ay 0.8 -dx 0.025 -o scan.csv
+//
+// With -pace the scan streams at a target sample rate on an ideal-clock
+// schedule instead of being written at once, so a replay file can feed a
+// live liond at field-realistic tags/sec:
+//
+//	lionsim -scenario linear -format ndjson -pace 500 |
+//	    curl -sS -X POST --data-binary @- http://localhost:8080/v1/samples
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -20,6 +28,7 @@ import (
 	"github.com/rfid-lion/lion/internal/dataset"
 	"github.com/rfid-lion/lion/internal/experiment"
 	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/load"
 	"github.com/rfid-lion/lion/internal/obs"
 	"github.com/rfid-lion/lion/internal/sim"
 	"github.com/rfid-lion/lion/internal/traject"
@@ -65,6 +74,10 @@ func run(args []string) error {
 		hop = fs.String("hop", "",
 			"comma-separated hop frequencies in Hz (empty = fixed carrier)")
 		dwell = fs.Duration("dwell", 200*time.Millisecond, "hop dwell time")
+
+		pace = fs.Float64("pace", 0,
+			"stream output at this many samples/sec on an ideal clock (ndjson or wire only; 0 = write at once)")
+		paceBatch = fs.Int("pace-batch", 32, "samples per paced chunk")
 
 		trace = fs.String("trace", "",
 			"also localize the generated scan and write the solve trace (NDJSON) to this file")
@@ -150,19 +163,24 @@ func run(args []string) error {
 		defer f.Close()
 		w = f
 	}
-	switch *format {
-	case "csv":
-		err = dataset.Write(w, samples)
-	case "ndjson":
-		err = dataset.WriteNDJSON(w, tag.ID, samples)
-	case "wire":
-		tagged := make([]dataset.TaggedSample, len(samples))
-		for i, sm := range samples {
-			tagged[i] = dataset.Tagged(tag.ID, sm)
-		}
-		err = wire.Codec{}.Encode(w, tagged)
+	switch {
+	case *pace > 0:
+		err = emitPaced(w, *format, tag.ID, samples, *pace, *paceBatch)
 	default:
-		err = fmt.Errorf("unknown format %q (want csv, ndjson or wire)", *format)
+		switch *format {
+		case "csv":
+			err = dataset.Write(w, samples)
+		case "ndjson":
+			err = dataset.WriteNDJSON(w, tag.ID, samples)
+		case "wire":
+			tagged := make([]dataset.TaggedSample, len(samples))
+			for i, sm := range samples {
+				tagged[i] = dataset.Tagged(tag.ID, sm)
+			}
+			err = wire.Codec{}.Encode(w, tagged)
+		default:
+			err = fmt.Errorf("unknown format %q (want csv, ndjson or wire)", *format)
+		}
 	}
 	if err != nil {
 		return err
@@ -173,6 +191,47 @@ func run(args []string) error {
 	if *trace != "" {
 		if err := writeTrace(*trace, *scenario, samples, env.Wavelength()); err != nil {
 			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// emitPaced streams the scan in fixed-size chunks on an ideal-clock schedule
+// (chunk i due at start + i·interval), the same load.Pacer lionload's
+// generator runs on: replay keeps the target rate even when a write stalls,
+// because the next chunk's due time never moves. CSV is a batch file format,
+// so pacing supports only the streaming ingest formats.
+func emitPaced(w io.Writer, format, tagID string, samples []sim.Sample, rate float64, batch int) error {
+	if batch <= 0 {
+		return fmt.Errorf("-pace-batch must be positive (got %d)", batch)
+	}
+	var emit func(chunk []sim.Sample) error
+	switch format {
+	case "ndjson":
+		emit = func(chunk []sim.Sample) error {
+			return dataset.WriteNDJSON(w, tagID, chunk)
+		}
+	case "wire":
+		buf := make([]dataset.TaggedSample, 0, batch)
+		emit = func(chunk []sim.Sample) error {
+			buf = buf[:0]
+			for _, sm := range chunk {
+				buf = append(buf, dataset.Tagged(tagID, sm))
+			}
+			return wire.Codec{}.Encode(w, buf)
+		}
+	default:
+		return fmt.Errorf("-pace requires -format ndjson or wire (got %q)", format)
+	}
+	pacer := load.PacerForRate(time.Now(), rate/float64(batch))
+	for i, off := 0, 0; off < len(samples); i, off = i+1, off+batch {
+		pacer.Wait(i)
+		end := off + batch
+		if end > len(samples) {
+			end = len(samples)
+		}
+		if err := emit(samples[off:end]); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"github.com/rfid-lion/lion/internal/dataset"
 	"github.com/rfid-lion/lion/internal/traject"
@@ -128,5 +129,57 @@ func TestNDJSONFormatRoundTrip(t *testing.T) {
 func TestRunUnknownFormat(t *testing.T) {
 	if err := run([]string{"-format", "xml"}); err == nil {
 		t.Error("unknown format accepted")
+	}
+}
+
+func TestPacedNDJSONEmission(t *testing.T) {
+	// -pace must stretch emission to the ideal-clock schedule without
+	// changing the bytes: same samples, same tag, but wall time at least
+	// (chunks-1) * chunk-interval.
+	out := filepath.Join(t.TempDir(), "scan.ndjson")
+	start := time.Now()
+	err := run([]string{
+		"-scenario", "linear", "-format", "ndjson", "-tag", "PACE-1",
+		"-o", out, "-rate", "50",
+		"-pace", "400", "-pace-batch", "16",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tagged, err := dataset.DecodeIngest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tagged) < 50 {
+		t.Fatalf("only %d samples", len(tagged))
+	}
+	for _, ts := range tagged {
+		if ts.Tag != "PACE-1" {
+			t.Fatalf("sample tagged %q", ts.Tag)
+		}
+	}
+	// 16-sample chunks at 400 samples/s = one chunk per 40ms; the last chunk
+	// is due at (ceil(n/16)-1) * 40ms after start.
+	chunks := (len(tagged) + 15) / 16
+	min := time.Duration(chunks-1) * 40 * time.Millisecond
+	if elapsed < min {
+		t.Errorf("paced run finished in %v, schedule requires at least %v for %d samples",
+			elapsed, min, len(tagged))
+	}
+}
+
+func TestPacedRejectsCSV(t *testing.T) {
+	if err := run([]string{"-pace", "100"}); err == nil {
+		t.Error("-pace with csv format accepted")
+	}
+	if err := run([]string{"-format", "ndjson", "-pace", "100", "-pace-batch", "0"}); err == nil {
+		t.Error("zero -pace-batch accepted")
 	}
 }

@@ -90,6 +90,7 @@ type Router struct {
 	forwardErrors  *obs.Counter
 	forwardLatency *obs.Histogram
 	ingestDecode   *obs.Histogram
+	ingestReq      *obs.Histogram
 	queueWait      *obs.Histogram
 	rejQueueFull   *obs.Counter
 	rejDraining    *obs.Counter
@@ -194,6 +195,8 @@ func New(cfg Config, opts Options) (*Router, error) {
 			"Wall time of one successful forward POST.", obs.DefBuckets),
 		ingestDecode: reg.Histogram("lion_cluster_ingest_decode_seconds",
 			"Wall time to decode one router ingest request body.", obs.DefBuckets),
+		ingestReq: reg.Histogram("lion_cluster_http_ingest_seconds",
+			"Wall time of one POST /v1/samples at the router, receive to response.", obs.DefBuckets),
 		queueWait: reg.Histogram("lion_cluster_queue_wait_seconds",
 			"Wait of a batch on a shard's forward queue before its POST began.", obs.DefBuckets),
 		ejections: reg.Counter("lion_cluster_ejections_total",

@@ -65,6 +65,9 @@ var ingestCodecs = []dataset.Codec{dataset.NDJSON{}, wire.Codec{}}
 
 func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 	recv := time.Now()
+	// Full request wall time at the router: the server-side twin of a load
+	// generator's client-observed ingest latency against a cluster.
+	defer func() { rt.ingestReq.Observe(time.Since(recv).Seconds()) }()
 	codec := dataset.SelectCodec(ingestCodecs, r.Header.Get("Content-Type"))
 	samples, err := codec.Decode(http.MaxBytesReader(w, r.Body, maxIngestBody))
 	decodeTook := time.Since(recv)
@@ -204,11 +207,31 @@ type sloQuantiles struct {
 // handleSLO fans /v1/slo out to the live shards and rolls the answers up into
 // a cluster-wide worst-case view: for every latency dimension the rollup
 // quantile is the maximum across shards (an SLO holds for the cluster only if
-// it holds for its slowest shard) and counts are summed. alert_latency_seconds
-// rolls up as the maximum reported by any shard.
+// it holds for its slowest shard) and counts are summed exactly. Shards whose
+// window for a dimension is still empty (count 0) contribute the dimension's
+// presence but not its quantiles, so an idle shard never drags a rollup
+// toward zero and a dimension no shard has observed still appears with an
+// explicit zero count. alert_latency_seconds rolls up as the maximum reported
+// by any shard. The router's own ingest request histogram is merged into
+// ingest_request_seconds the same worst-case way: a cluster's ingest SLO is
+// bounded by whichever hop — router or slowest shard — is slower.
 func (rt *Router) handleSLO(w http.ResponseWriter, r *http.Request) {
 	shards := rt.fanOut("/v1/slo")
 	agg := make(map[string]*sloQuantiles)
+	merge := func(key string, q sloQuantiles) {
+		a := agg[key]
+		if a == nil {
+			a = &sloQuantiles{}
+			agg[key] = a
+		}
+		if q.Count == 0 {
+			return
+		}
+		a.P50 = math.Max(a.P50, q.P50)
+		a.P95 = math.Max(a.P95, q.P95)
+		a.P99 = math.Max(a.P99, q.P99)
+		a.Count += q.Count
+	}
 	var alertMax float64
 	alertSeen := false
 	for _, body := range shards {
@@ -225,20 +248,13 @@ func (rt *Router) handleSLO(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			var q sloQuantiles
-			if json.Unmarshal(raw, &q) != nil || q.Count == 0 {
+			if json.Unmarshal(raw, &q) != nil {
 				continue
 			}
-			a := agg[key]
-			if a == nil {
-				a = &sloQuantiles{}
-				agg[key] = a
-			}
-			a.P50 = math.Max(a.P50, q.P50)
-			a.P95 = math.Max(a.P95, q.P95)
-			a.P99 = math.Max(a.P99, q.P99)
-			a.Count += q.Count
+			merge(key, q)
 		}
 	}
+	merge("ingest_request_seconds", rt.ownIngestQuantiles())
 	cluster := make(map[string]any, len(agg)+1)
 	for key, q := range agg {
 		cluster[key] = q
@@ -247,6 +263,26 @@ func (rt *Router) handleSLO(w http.ResponseWriter, r *http.Request) {
 		cluster["alert_latency_seconds"] = alertMax
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"shards": shards, "cluster": cluster})
+}
+
+// ownIngestQuantiles summarises the router's own POST /v1/samples wall time
+// in the /v1/slo dimension shape. An untouched histogram reports the explicit
+// zero document.
+func (rt *Router) ownIngestQuantiles() sloQuantiles {
+	q := sloQuantiles{Count: rt.ingestReq.Count()}
+	if q.Count > 0 {
+		// Histogram.Quantile takes a percentile in [0, 100].
+		if v, ok := rt.ingestReq.Quantile(50); ok {
+			q.P50 = v
+		}
+		if v, ok := rt.ingestReq.Quantile(95); ok {
+			q.P95 = v
+		}
+		if v, ok := rt.ingestReq.Quantile(99); ok {
+			q.P99 = v
+		}
+	}
+	return q
 }
 
 // handleTrace assembles one cross-process pipeline trace: the router's own

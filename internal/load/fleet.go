@@ -1,0 +1,167 @@
+package load
+
+import (
+	"fmt"
+
+	"github.com/rfid-lion/lion/internal/dataset"
+	"github.com/rfid-lion/lion/internal/geom"
+	"github.com/rfid-lion/lion/internal/sim"
+	"github.com/rfid-lion/lion/internal/traject"
+)
+
+// tagStream is one tag's pre-generated read loop. The send path replays the
+// samples in ping-pong order (forward, then backward, then forward again) so
+// the tag's position never jumps across a wrap seam, and stamps each emitted
+// sample with the run's elapsed time — timestamps stay monotonic per tag no
+// matter how many passes the run makes.
+type tagStream struct {
+	tag     string
+	samples []dataset.TaggedSample
+	i       int
+	dir     int
+}
+
+// next returns the stream's current sample and advances the ping-pong
+// cursor. Zero-alloc.
+func (t *tagStream) next() *dataset.TaggedSample {
+	s := &t.samples[t.i]
+	if len(t.samples) == 1 {
+		return s
+	}
+	ni := t.i + t.dir
+	if ni < 0 || ni >= len(t.samples) {
+		t.dir = -t.dir
+		ni = t.i + t.dir
+	}
+	t.i = ni
+	return s
+}
+
+// Fleet is a set of tag streams feeding one sender. Fill is not safe for
+// concurrent use; partition the fleet across workers instead of locking it.
+type Fleet struct {
+	tags []*tagStream
+	next int
+}
+
+// BuildFleet pre-generates the scenario's tag fleet: every tag gets its own
+// reproducible phase stream from the sim testbed (distinct seed, distinct
+// trajectory offsets), generated once up front so the send path touches no
+// RNG, no trig, and no allocator.
+func BuildFleet(sc *Scenario, seed int64) (*Fleet, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	env, err := sim.NewEnvironment()
+	if err != nil {
+		return nil, err
+	}
+	ant := &sim.Antenna{
+		ID:             "LOAD-ANT",
+		PhysicalCenter: geom.V3(0, 1.5, 0.5),
+	}
+	f := &Fleet{}
+	n := 0
+	for _, g := range sc.Fleet {
+		for k := 0; k < g.Count; k++ {
+			id := fmt.Sprintf("%s-%04d", g.Prefix, k)
+			reader, err := sim.NewReader(env, sim.ReaderConfig{
+				RateHz: 100,
+				Seed:   seed + int64(n) + 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			trj, err := groupTrajectory(g, k)
+			if err != nil {
+				return nil, fmt.Errorf("load: fleet group %s: %w", g.Prefix, err)
+			}
+			raw, err := reader.Scan(ant, &sim.Tag{ID: id, PhaseOffset: float64(n%7) * 0.9}, trj)
+			if err != nil {
+				return nil, err
+			}
+			if len(raw) == 0 {
+				return nil, fmt.Errorf("load: fleet group %s produced an empty scan", g.Prefix)
+			}
+			samples := make([]dataset.TaggedSample, len(raw))
+			for i, s := range raw {
+				samples[i] = dataset.Tagged(id, s)
+			}
+			f.tags = append(f.tags, &tagStream{tag: id, samples: samples, dir: 1})
+			n++
+		}
+	}
+	return f, nil
+}
+
+// groupTrajectory builds tag k's trajectory for a group, offsetting each tag
+// slightly so fleet members never share a position.
+func groupTrajectory(g TagGroup, k int) (traject.Trajectory, error) {
+	span := g.Span
+	if span <= 0 {
+		span = 1.2
+	}
+	speed := g.Speed
+	if speed <= 0 {
+		speed = 0.5
+	}
+	dy := 0.05 * float64(k%8)
+	dz := 0.05 * float64(k/8%8)
+	switch g.Trajectory {
+	case "", "linear":
+		return traject.NewLinear(
+			geom.V3(-span/2, dy, dz), geom.V3(span/2, dy, dz), speed)
+	case "circle":
+		return traject.NewCircularXY(
+			geom.V3(0, dy, dz), span, speed, float64(k)*0.7, 1)
+	case "threeline":
+		return traject.NewThreeLineScan(traject.ThreeLineConfig{
+			XMin: -span / 2, XMax: span / 2,
+			YSpacing: 0.2 + dy, ZSpacing: 0.2 + dz,
+			Speed: speed,
+		})
+	default:
+		return nil, fmt.Errorf("unknown trajectory %q", g.Trajectory)
+	}
+}
+
+// Tags returns the number of tags in the fleet.
+func (f *Fleet) Tags() int { return len(f.tags) }
+
+// Partition splits the fleet's tags round-robin into n disjoint sub-fleets,
+// one per worker, so each worker fills batches lock-free. Workers beyond the
+// tag count receive empty fleets; Fill on an empty fleet fills nothing.
+func (f *Fleet) Partition(n int) []*Fleet {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]*Fleet, n)
+	for i := range out {
+		out[i] = &Fleet{}
+	}
+	for i, t := range f.tags {
+		w := out[i%n]
+		w.tags = append(w.tags, t)
+	}
+	return out
+}
+
+// Fill writes the next batch into buf, interleaving the fleet's tags
+// round-robin and stamping every sample with the run-elapsed timestamp.
+// It returns the number of samples written (len(buf), or 0 for an empty
+// fleet) and allocates nothing.
+func (f *Fleet) Fill(buf []dataset.TaggedSample, elapsedS float64) int {
+	if len(f.tags) == 0 {
+		return 0
+	}
+	for i := range buf {
+		t := f.tags[f.next]
+		f.next++
+		if f.next == len(f.tags) {
+			f.next = 0
+		}
+		buf[i] = *t.next()
+		buf[i].TimeS = elapsedS
+	}
+	return len(buf)
+}

@@ -1,0 +1,164 @@
+package load
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rfid-lion/lion/internal/dataset"
+)
+
+func smokeScenario(t *testing.T) *Scenario {
+	t.Helper()
+	sc, err := Lookup("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestBuildFleetDeterministic(t *testing.T) {
+	sc := smokeScenario(t)
+	a, err := BuildFleet(sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildFleet(sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tags() != sc.Tags() || b.Tags() != sc.Tags() {
+		t.Fatalf("fleet sizes %d/%d, want %d", a.Tags(), b.Tags(), sc.Tags())
+	}
+	bufA := make([]dataset.TaggedSample, 32)
+	bufB := make([]dataset.TaggedSample, 32)
+	a.Fill(bufA, 1.5)
+	b.Fill(bufB, 1.5)
+	for i := range bufA {
+		if bufA[i] != bufB[i] {
+			t.Fatalf("sample %d differs across same-seed fleets:\n%+v\n%+v", i, bufA[i], bufB[i])
+		}
+	}
+	// A different seed produces different phases.
+	c, err := BuildFleet(sc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufC := make([]dataset.TaggedSample, 32)
+	c.Fill(bufC, 1.5)
+	same := 0
+	for i := range bufA {
+		if bufA[i].Phase == bufC[i].Phase {
+			same++
+		}
+	}
+	if same == len(bufA) {
+		t.Fatal("different seeds produced identical phase streams")
+	}
+}
+
+func TestFleetFillStampsTime(t *testing.T) {
+	f, err := BuildFleet(smokeScenario(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]dataset.TaggedSample, 16)
+	f.Fill(buf, 2.25)
+	for i, s := range buf {
+		if s.TimeS != 2.25 {
+			t.Fatalf("sample %d time %v, want the elapsed stamp 2.25", i, s.TimeS)
+		}
+		if s.Tag == "" {
+			t.Fatalf("sample %d has no tag", i)
+		}
+	}
+}
+
+// TestFleetPingPongContinuity drives one tag stream through several full
+// passes and checks the position never jumps more than one read step — the
+// ping-pong replay must not seam at either end.
+func TestFleetPingPongContinuity(t *testing.T) {
+	f, err := BuildFleet(&Scenario{
+		Name:            "one",
+		Fleet:           []TagGroup{{Prefix: "T", Count: 1, Trajectory: "linear", Speed: 0.8, Span: 1.2}},
+		Phases:          []Phase{{Name: "p", Frac: 1, RateScale: 1}},
+		DefaultRate:     100,
+		DefaultDuration: 1,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := f.tags[0]
+	n := len(ts.samples)
+	if n < 10 {
+		t.Fatalf("stream too short: %d", n)
+	}
+	// Max per-read travel: speed/rate with slack for float rounding.
+	maxStep := 0.8/100*1.5 + 1e-9
+	prev := *ts.next()
+	for i := 0; i < 3*n; i++ {
+		cur := *ts.next()
+		d := math.Hypot(cur.X-prev.X, cur.Y-prev.Y)
+		if d > maxStep {
+			t.Fatalf("position jump %.4fm at replay step %d (max %.4f)", d, i, maxStep)
+		}
+		prev = cur
+	}
+}
+
+func TestFleetPartitionDisjoint(t *testing.T) {
+	f, err := BuildFleet(smokeScenario(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := f.Partition(3)
+	seen := map[string]int{}
+	total := 0
+	for _, p := range parts {
+		total += p.Tags()
+		for _, ts := range p.tags {
+			seen[ts.tag]++
+		}
+	}
+	if total != f.Tags() {
+		t.Fatalf("partitions hold %d tags, fleet has %d", total, f.Tags())
+	}
+	for tag, n := range seen {
+		if n != 1 {
+			t.Fatalf("tag %s appears in %d partitions", tag, n)
+		}
+	}
+	// More workers than tags: empty fleets fill nothing instead of panicking.
+	many := f.Partition(1000)
+	buf := make([]dataset.TaggedSample, 4)
+	if n := many[999].Fill(buf, 0); n != 0 {
+		t.Fatalf("empty fleet filled %d samples", n)
+	}
+}
+
+func TestFleetFillZeroAlloc(t *testing.T) {
+	f, err := BuildFleet(smokeScenario(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]dataset.TaggedSample, 64)
+	el := 0.0
+	if allocs := testing.AllocsPerRun(200, func() {
+		el += 0.01
+		f.Fill(buf, el)
+	}); allocs != 0 {
+		t.Fatalf("Fill allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestFleetRejectsUnknownTrajectory(t *testing.T) {
+	_, err := BuildFleet(&Scenario{
+		Name:            "bad",
+		Fleet:           []TagGroup{{Prefix: "T", Count: 1, Trajectory: "teleport"}},
+		Phases:          []Phase{{Name: "p", Frac: 1, RateScale: 1}},
+		DefaultRate:     100,
+		DefaultDuration: 1,
+	}, 1)
+	if err == nil {
+		t.Fatal("unknown trajectory accepted")
+	}
+}

@@ -1,0 +1,41 @@
+package load
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPacerSchedule(t *testing.T) {
+	start := time.Unix(100, 0)
+	p := NewPacer(start, 10*time.Millisecond)
+	if got := p.ScheduledAt(0); !got.Equal(start) {
+		t.Fatalf("tick 0 at %v, want %v", got, start)
+	}
+	if got := p.ScheduledAt(250); !got.Equal(start.Add(2500 * time.Millisecond)) {
+		t.Fatalf("tick 250 at %v", got)
+	}
+	if got := PacerForRate(start, 200).Interval(); got != 5*time.Millisecond {
+		t.Fatalf("200/s interval = %v, want 5ms", got)
+	}
+	// Unpaced pacers collapse every tick to the origin.
+	if got := PacerForRate(start, 0).ScheduledAt(1000); !got.Equal(start) {
+		t.Fatalf("unpaced tick at %v, want %v", got, start)
+	}
+}
+
+func TestPacerWait(t *testing.T) {
+	// A pacer whose schedule is in the past reports lateness immediately.
+	p := NewPacer(time.Now().Add(-time.Second), 10*time.Millisecond)
+	if late := p.Wait(0); late < 900*time.Millisecond {
+		t.Fatalf("lateness %v, want ~1s", late)
+	}
+	// A future tick is waited for and reports zero lateness.
+	p = NewPacer(time.Now(), 20*time.Millisecond)
+	begin := time.Now()
+	if late := p.Wait(1); late != 0 {
+		t.Fatalf("future tick reported late %v", late)
+	}
+	if waited := time.Since(begin); waited < 10*time.Millisecond {
+		t.Fatalf("Wait returned after %v, want ~20ms", waited)
+	}
+}

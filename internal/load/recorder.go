@@ -1,0 +1,133 @@
+package load
+
+import (
+	"time"
+
+	"github.com/rfid-lion/lion/internal/stats"
+)
+
+// Recorder accumulates one worker's measurements: a latency histogram and
+// delivery counters per scenario phase, plus a per-second worst-latency
+// series for the report's sparkline. All methods are zero-alloc after
+// construction; workers each own a Recorder and the runner merges them when
+// the run ends, so the hot path takes no locks.
+type Recorder struct {
+	phases []PhaseStats
+	series []float64 // worst latency seconds observed in each run second
+}
+
+// PhaseStats is the per-phase half of a Recorder: client-observed latency
+// plus delivery accounting.
+type PhaseStats struct {
+	Name string
+	// Hist holds batch latencies in seconds, measured from each batch's
+	// ideal-clock scheduled time (coordinated-omission safe).
+	Hist stats.Hist
+	// Batches and Samples count send attempts; Accepted and Dropped are the
+	// server's per-sample verdicts; Errors counts failed POSTs.
+	Batches  uint64
+	Samples  uint64
+	Accepted uint64
+	Dropped  uint64
+	Errors   uint64
+	// Late counts ticks whose sender was already behind schedule when the
+	// tick came due — the open-loop backlog signal.
+	Late uint64
+}
+
+// NewRecorder sizes a recorder for the given phases and run length.
+func NewRecorder(phases []Phase, d time.Duration) *Recorder {
+	r := &Recorder{
+		phases: make([]PhaseStats, len(phases)),
+		series: make([]float64, int(d.Seconds())+2),
+	}
+	for i, p := range phases {
+		r.phases[i].Name = p.Name
+	}
+	return r
+}
+
+// Record logs one batch send: its phase index, its latency measured from the
+// scheduled time, the elapsed run time of the schedule slot (for the
+// per-second series), the batch's sample counts, and whether the sender was
+// late to the slot. Zero-alloc.
+func (r *Recorder) Record(phase int, latency, elapsed time.Duration,
+	samples, accepted, dropped int, failed, late bool) {
+	p := &r.phases[phase]
+	sec := latency.Seconds()
+	p.Hist.Record(sec)
+	p.Batches++
+	p.Samples += uint64(samples)
+	p.Accepted += uint64(accepted)
+	p.Dropped += uint64(dropped)
+	if failed {
+		p.Errors++
+	}
+	if late {
+		p.Late++
+	}
+	if i := int(elapsed.Seconds()); i >= 0 && i < len(r.series) && sec > r.series[i] {
+		r.series[i] = sec
+	}
+}
+
+// Merge folds another recorder (same phase layout) into this one.
+func (r *Recorder) Merge(other *Recorder) {
+	for i := range r.phases {
+		if i >= len(other.phases) {
+			break
+		}
+		p, q := &r.phases[i], &other.phases[i]
+		p.Hist.Merge(&q.Hist)
+		p.Batches += q.Batches
+		p.Samples += q.Samples
+		p.Accepted += q.Accepted
+		p.Dropped += q.Dropped
+		p.Errors += q.Errors
+		p.Late += q.Late
+	}
+	for i, v := range other.series {
+		if i < len(r.series) && v > r.series[i] {
+			r.series[i] = v
+		}
+	}
+}
+
+// Phases returns the per-phase stats.
+func (r *Recorder) Phases() []PhaseStats { return r.phases }
+
+// Series returns the per-second worst-latency series in seconds.
+func (r *Recorder) Series() []float64 { return r.series }
+
+// Total merges every phase into one histogram plus run-wide counters.
+func (r *Recorder) Total() PhaseStats {
+	var t PhaseStats
+	t.Name = "total"
+	for i := range r.phases {
+		p := &r.phases[i]
+		t.Hist.Merge(&p.Hist)
+		t.Batches += p.Batches
+		t.Samples += p.Samples
+		t.Accepted += p.Accepted
+		t.Dropped += p.Dropped
+		t.Errors += p.Errors
+		t.Late += p.Late
+	}
+	return t
+}
+
+// DropRate returns (dropped samples)/(sent samples), 0 when nothing was sent.
+func (p *PhaseStats) DropRate() float64 {
+	if p.Samples == 0 {
+		return 0
+	}
+	return float64(p.Dropped) / float64(p.Samples)
+}
+
+// ErrorRate returns (failed batches)/(batches), 0 when nothing was sent.
+func (p *PhaseStats) ErrorRate() float64 {
+	if p.Batches == 0 {
+		return 0
+	}
+	return float64(p.Errors) / float64(p.Batches)
+}

@@ -1,0 +1,165 @@
+package load
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/rfid-lion/lion/internal/benchfmt"
+)
+
+// sparkTicks are the eight levels of the per-second latency sparkline.
+var sparkTicks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values as one rune per element, scaled to the series
+// maximum. Empty seconds render as the lowest tick.
+func sparkline(values []float64) string {
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		i := 0
+		if max > 0 {
+			i = int(v / max * float64(len(sparkTicks)-1))
+			if i >= len(sparkTicks) {
+				i = len(sparkTicks) - 1
+			}
+		}
+		b.WriteRune(sparkTicks[i])
+	}
+	return b.String()
+}
+
+// q pulls a quantile out of a phase's histogram, rendering "-" when empty.
+func q(p *PhaseStats, quant float64) string {
+	v, ok := p.Hist.Quantile(quant)
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fms", v*1e3)
+}
+
+// Report writes the human-readable run report: configuration, per-phase
+// latency table, the per-second worst-latency sparkline, the scraped server
+// view, and the scored verdict.
+func Report(w io.Writer, res *Result, v *Verdict) {
+	fmt.Fprintf(w, "lionload %s against %s (%s codec)\n",
+		res.Scenario.Name, res.Target, res.CodecName)
+	fmt.Fprintf(w, "  %s\n", res.Scenario.Description)
+	fmt.Fprintf(w, "  peak %.0f samples/s for %s, batch %d, %d workers, %d tags\n",
+		res.Rate, res.Duration, res.Batch, res.Workers, res.Scenario.Tags())
+	fmt.Fprintf(w, "  achieved %.0f samples/s over %.1fs\n\n",
+		res.AchievedRate(), res.Elapsed.Seconds())
+
+	fmt.Fprintf(w, "  %-10s %8s %9s %8s %8s %8s %6s %5s %5s\n",
+		"phase", "batches", "samples", "p50", "p95", "p99", "drops", "errs", "late")
+	rows := res.Recorder.Phases()
+	for i := range rows {
+		p := &rows[i]
+		fmt.Fprintf(w, "  %-10s %8d %9d %8s %8s %8s %6d %5d %5d\n",
+			p.Name, p.Batches, p.Samples, q(p, 0.50), q(p, 0.95), q(p, 0.99),
+			p.Dropped, p.Errors, p.Late)
+	}
+	total := res.Recorder.Total()
+	fmt.Fprintf(w, "  %-10s %8d %9d %8s %8s %8s %6d %5d %5d\n\n",
+		"total", total.Batches, total.Samples,
+		q(&total, 0.50), q(&total, 0.95), q(&total, 0.99),
+		total.Dropped, total.Errors, total.Late)
+
+	series := res.Recorder.Series()
+	if n := int(res.Elapsed.Seconds()) + 1; n < len(series) {
+		series = series[:n]
+	}
+	fmt.Fprintf(w, "  worst latency per second: %s\n\n", sparkline(series))
+
+	if res.Scrape.Scrapes > 0 {
+		fmt.Fprintf(w, "  server view (%d scrapes, %d failed):\n",
+			res.Scrape.Scrapes, res.Scrape.Errors)
+		for _, key := range sortedDimKeys(res.Scrape.Dims) {
+			d := res.Scrape.Dims[key]
+			fmt.Fprintf(w, "    %-26s worst p99 %8.1fms  last p50/p95/p99 %.1f/%.1f/%.1fms (n=%d)\n",
+				key, d.WorstP99*1e3,
+				d.Last.P50*1e3, d.Last.P95*1e3, d.Last.P99*1e3, d.Last.Count)
+		}
+		if res.Scrape.AlertSeen {
+			fmt.Fprintf(w, "    %-26s %.2fs\n", "alert_latency", res.Scrape.AlertLatency)
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "  verdict: %s\n", v)
+	for _, c := range v.Checks {
+		status := "ok  "
+		switch {
+		case c.Skipped:
+			status = "skip"
+		case !c.OK:
+			status = "FAIL"
+		}
+		line := fmt.Sprintf("    [%s] %-14s", status, c.Name)
+		if !c.Skipped {
+			line += fmt.Sprintf(" %10.4f %-5s bound %.4f", c.Value, c.Unit, c.Bound)
+		}
+		if c.Detail != "" {
+			line += "  (" + c.Detail + ")"
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// sortedDimKeys returns the scrape dimension keys in stable order.
+func sortedDimKeys(dims map[string]*DimSummary) []string {
+	keys := make([]string, 0, len(dims))
+	for k := range dims {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// Macro converts a scored run into the benchfmt macro entries that lionload
+// merges into a BENCH_*.json snapshot for benchguard to police: every scored
+// check becomes one entry (its bound is the guarded target), plus the
+// achieved rate as an unguarded trend entry.
+func Macro(res *Result, v *Verdict) []benchfmt.Macro {
+	scen := res.Scenario.Name
+	unit := func(u string) string {
+		if u == "s" {
+			return "seconds"
+		}
+		return u
+	}
+	var out []benchfmt.Macro
+	total := res.Recorder.Total()
+	for _, c := range v.Checks {
+		if c.Skipped || c.Name == "p99_agreement" {
+			continue
+		}
+		out = append(out, benchfmt.Macro{
+			Name:     scen + "/" + c.Name,
+			Scenario: scen,
+			Metric:   c.Name,
+			Value:    c.Value,
+			Target:   c.Bound,
+			Unit:     unit(c.Unit),
+			Count:    total.Samples,
+		})
+	}
+	out = append(out, benchfmt.Macro{
+		Name:     scen + "/achieved_rate",
+		Scenario: scen,
+		Metric:   "achieved_rate",
+		Value:    res.AchievedRate(),
+		Unit:     "samples_per_second",
+		Count:    total.Samples,
+	})
+	return out
+}

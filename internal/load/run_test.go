@@ -1,0 +1,253 @@
+package load
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/rfid-lion/lion/internal/dataset"
+)
+
+// nullSink accepts everything instantly; the measurement-path tests use it
+// so only the harness's own work is on the clock.
+type nullSink struct{ samples atomic.Int64 }
+
+func (n *nullSink) Send(batch []dataset.TaggedSample) (int, int, error) {
+	n.samples.Add(int64(len(batch)))
+	return len(batch), 0, nil
+}
+
+// stallSink accepts instantly except for one call, which blocks — the
+// simulated server stall of the coordinated-omission test.
+type stallSink struct {
+	nullSink
+	calls    atomic.Int64
+	stallAt  int64
+	stallFor time.Duration
+}
+
+func (s *stallSink) Send(batch []dataset.TaggedSample) (int, int, error) {
+	if s.calls.Add(1) == s.stallAt {
+		time.Sleep(s.stallFor)
+	}
+	return s.nullSink.Send(batch)
+}
+
+func TestBuildSchedule(t *testing.T) {
+	phases := []Phase{
+		{Name: "ramp", Frac: 0.5, RateScale: 0.5},
+		{Name: "steady", Frac: 0.5, RateScale: 1},
+	}
+	// 1000 samples/s peak, batch 50, 2s total: ramp sends 500/s = 10
+	// batches/s for 1s, steady 20 batches/s for 1s.
+	slots := buildSchedule(phases, 1000, 2*time.Second, 50)
+	var ramp, steady int
+	for _, sl := range slots {
+		switch sl.Phase {
+		case 0:
+			ramp++
+			if sl.Due >= time.Second {
+				t.Fatalf("ramp slot due at %v, past the phase end", sl.Due)
+			}
+		case 1:
+			steady++
+			if sl.Due < time.Second || sl.Due >= 2*time.Second {
+				t.Fatalf("steady slot due at %v, outside [1s,2s)", sl.Due)
+			}
+		}
+	}
+	if ramp != 10 || steady != 20 {
+		t.Fatalf("schedule has %d ramp + %d steady batches, want 10 + 20", ramp, steady)
+	}
+	for i := 1; i < len(slots); i++ {
+		if slots[i].Due < slots[i-1].Due {
+			t.Fatalf("schedule not monotonic at slot %d", i)
+		}
+	}
+	// A zero-rate phase contributes time but no slots.
+	slots = buildSchedule([]Phase{
+		{Name: "idle", Frac: 0.5, RateScale: 0},
+		{Name: "go", Frac: 0.5, RateScale: 1},
+	}, 100, 2*time.Second, 10)
+	if len(slots) != 10 || slots[0].Due != time.Second {
+		t.Fatalf("idle phase mishandled: %d slots, first at %v", len(slots), slots[0].Due)
+	}
+}
+
+func TestRunNullSink(t *testing.T) {
+	sc := smokeScenario(t)
+	var sink nullSink
+	res, err := Run(context.Background(), Config{
+		Scenario: sc,
+		Rate:     2000,
+		Duration: 500 * time.Millisecond,
+		Batch:    20,
+		Workers:  2,
+		NewSink:  func(int) Sink { return &sink },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Recorder.Total()
+	if total.Samples == 0 || int64(total.Samples) != sink.samples.Load() {
+		t.Fatalf("recorder saw %d samples, sink saw %d", total.Samples, sink.samples.Load())
+	}
+	if total.Accepted != total.Samples || total.Dropped != 0 || total.Errors != 0 {
+		t.Fatalf("null-sink accounting off: %+v", total)
+	}
+	// ~2000/s for 0.5s with ramp scaling: at least a few hundred samples.
+	if total.Samples < 300 {
+		t.Fatalf("only %d samples delivered", total.Samples)
+	}
+	if v := Evaluate(res); !v.Pass {
+		t.Fatalf("null-sink run failed its verdict: %+v", v.failures())
+	}
+}
+
+// TestRunCoordinatedOmissionSafe is the reason this package exists: when the
+// server stalls once, every batch scheduled during the stall must record the
+// backlog it suffered. A closed-loop harness would log exactly one slow
+// batch; the open-loop schedule logs them all.
+func TestRunCoordinatedOmissionSafe(t *testing.T) {
+	sc := &Scenario{
+		Name:            "co",
+		Fleet:           []TagGroup{{Prefix: "T", Count: 4, Trajectory: "linear", Speed: 0.8, Span: 1.2}},
+		Phases:          []Phase{{Name: "steady", Frac: 1, RateScale: 1}},
+		DefaultRate:     1000,
+		DefaultDuration: time.Second,
+		SLO:             defaultSLO(),
+	}
+	stall := 300 * time.Millisecond
+	sink := &stallSink{stallAt: 10, stallFor: stall}
+	res, err := Run(context.Background(), Config{
+		Scenario: sc,
+		Rate:     1000,
+		Duration: time.Second,
+		Batch:    10, // 100 batches/s on one worker
+		Workers:  1,
+		NewSink:  func(int) Sink { return sink },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Recorder.Total()
+	// The stall delays every batch scheduled inside it: ~30 of the ~100
+	// batches, with backlog spread up to the full stall length.
+	if p99, ok := total.Hist.Quantile(0.99); !ok || p99 < 0.2 {
+		t.Fatalf("p99 %.3fs after a %.1fs stall — the tail was coordinated away", p99, stall.Seconds())
+	}
+	// More than 10%% of batches must carry stall backlog (one slow batch
+	// out of ~100 would be ~1%%: the closed-loop lie).
+	if p90, ok := total.Hist.Quantile(0.90); !ok || p90 < 0.05 {
+		t.Fatalf("p90 %.3fs: only the stalled batch itself recorded the stall", p90)
+	}
+	if total.Late == 0 {
+		t.Fatal("no batch was marked late despite the backlog")
+	}
+}
+
+// TestWorkerStepZeroAlloc pins the measurement path: pacing, fleet fill, and
+// latency recording allocate nothing per batch. Only the sink's transport may
+// allocate, and the null sink doesn't.
+func TestWorkerStepZeroAlloc(t *testing.T) {
+	f, err := BuildFleet(smokeScenario(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &worker{
+		fleet: f,
+		sink:  &nullSink{},
+		rec:   NewRecorder([]Phase{{Name: "p", Frac: 1, RateScale: 1}}, time.Second),
+		buf:   make([]dataset.TaggedSample, 64),
+		start: time.Now().Add(-time.Minute), // schedule in the past: no sleeps
+	}
+	i := 0
+	if allocs := testing.AllocsPerRun(200, func() {
+		w.step(slot{Due: time.Duration(i) * time.Millisecond, Phase: 0})
+		i++
+	}); allocs != 0 {
+		t.Fatalf("worker step allocates %.1f objects per batch, want 0", allocs)
+	}
+}
+
+// TestGeneratorThroughput asserts the harness itself sustains at least 100k
+// samples/sec against a free sink — if the generator is slower than the
+// servers it measures, every result is generator-bound noise.
+func TestGeneratorThroughput(t *testing.T) {
+	f, err := BuildFleet(smokeScenario(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &worker{
+		fleet: f,
+		sink:  &nullSink{},
+		rec:   NewRecorder([]Phase{{Name: "p", Frac: 1, RateScale: 1}}, time.Second),
+		buf:   make([]dataset.TaggedSample, 256),
+		start: time.Now().Add(-time.Hour),
+	}
+	const batches = 400 // 102400 samples
+	begin := time.Now()
+	for i := 0; i < batches; i++ {
+		w.step(slot{Due: time.Duration(i), Phase: 0})
+	}
+	elapsed := time.Since(begin)
+	rate := float64(batches*256) / elapsed.Seconds()
+	if rate < 100_000 {
+		t.Fatalf("generator sustains %.0f samples/s, want >= 100k", rate)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Fatal("nil scenario accepted")
+	}
+	sc := smokeScenario(t)
+	if _, err := Run(context.Background(), Config{Scenario: sc}); err == nil {
+		t.Fatal("missing target and sink accepted")
+	}
+}
+
+func TestRunHonorsCancel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	var sink nullSink
+	begin := time.Now()
+	_, err := Run(ctx, Config{
+		Scenario: smokeScenario(t),
+		Rate:     100,
+		Duration: 30 * time.Second,
+		Batch:    10,
+		NewSink:  func(int) Sink { return &sink },
+	})
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if took := time.Since(begin); took > 5*time.Second {
+		t.Fatalf("cancelled run took %v to stop", took)
+	}
+}
+
+func BenchmarkWorkerStep(b *testing.B) {
+	sc, err := Lookup("smoke")
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := BuildFleet(sc, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &worker{
+		fleet: f,
+		sink:  &nullSink{},
+		rec:   NewRecorder([]Phase{{Name: "p", Frac: 1, RateScale: 1}}, time.Second),
+		buf:   make([]dataset.TaggedSample, 256),
+		start: time.Now().Add(-time.Hour),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.step(slot{Due: time.Duration(i), Phase: 0})
+	}
+	b.SetBytes(256)
+}

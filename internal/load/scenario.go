@@ -1,0 +1,242 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Phase is one stage of a scenario's load shape. Durations and rates are
+// declared as fractions of the run's total duration and peak rate, so one
+// scenario definition scales from a 5-second smoke run to an hour-long
+// soak without editing the library.
+type Phase struct {
+	// Name labels the phase in reports ("ramp", "steady", "spike", "drain").
+	Name string
+	// Frac is this phase's share of the total run duration; a scenario's
+	// phase fractions must sum to 1.
+	Frac float64
+	// RateScale multiplies the run's peak rate during this phase (1 = peak).
+	RateScale float64
+}
+
+// SLO declares the per-scenario service-level targets the verdict engine
+// scores a run against. Zero-valued bounds are not scored.
+type SLO struct {
+	// IngestP50/P95/P99 bound the client-observed ingest latency —
+	// measured from each batch's ideal-clock scheduled send time to its
+	// acknowledged completion, so server stalls count fully.
+	IngestP50 time.Duration
+	IngestP95 time.Duration
+	IngestP99 time.Duration
+	// StalenessP99 bounds the server-reported estimate staleness p99
+	// (scraped from /v1/slo during the run; worst scrape counts).
+	StalenessP99 time.Duration
+	// MaxDropRate bounds (server drops + rejected batches) / samples sent.
+	MaxDropRate float64
+	// MaxErrorRate bounds failed POSTs / batches sent.
+	MaxErrorRate float64
+	// AlertLatencyMax bounds the server-reported alert fire latency when
+	// the scraped /v1/slo reports one (no alert firing is a pass).
+	AlertLatencyMax time.Duration
+	// AgreeFactor and AgreeSlack define the client/server p99 agreement
+	// band: the run fails when either side's ingest p99 exceeds
+	// factor × other + slack. Zero factor skips the check.
+	AgreeFactor float64
+	AgreeSlack  time.Duration
+}
+
+// TagGroup is one homogeneous slice of a scenario's fleet: Count tags on
+// the same trajectory family, distinguished by seed and id suffix.
+type TagGroup struct {
+	// Prefix builds tag ids as "<Prefix>-<n>".
+	Prefix string
+	// Count is the number of distinct tags in the group.
+	Count int
+	// Trajectory selects the motion family: "linear" (conveyor/portal
+	// pass), "circle" (turntable), "threeline" (calibration sweep).
+	Trajectory string
+	// Speed is the tag speed in m/s.
+	Speed float64
+	// Span is the scan extent in metres (linear/threeline) or the circle
+	// radius.
+	Span float64
+}
+
+// Scenario is one named workload from the library: a fleet mix, a load
+// shape, and the SLOs the deployment must hold under it.
+type Scenario struct {
+	Name        string
+	Description string
+	Fleet       []TagGroup
+	Phases      []Phase
+	// DefaultRate is the peak samples/sec when the caller does not override.
+	DefaultRate float64
+	// DefaultDuration is the total run length when not overridden.
+	DefaultDuration time.Duration
+	SLO             SLO
+}
+
+// Validate checks the scenario's internal consistency.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("load: scenario without a name")
+	}
+	if len(s.Fleet) == 0 {
+		return fmt.Errorf("load: scenario %s has no fleet", s.Name)
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("load: scenario %s has no phases", s.Name)
+	}
+	var frac float64
+	for _, p := range s.Phases {
+		if p.Frac <= 0 || p.RateScale < 0 {
+			return fmt.Errorf("load: scenario %s phase %q: frac %v / scale %v out of range",
+				s.Name, p.Name, p.Frac, p.RateScale)
+		}
+		frac += p.Frac
+	}
+	if frac < 0.999 || frac > 1.001 {
+		return fmt.Errorf("load: scenario %s phase fractions sum to %v, want 1", s.Name, frac)
+	}
+	for _, g := range s.Fleet {
+		if g.Count <= 0 {
+			return fmt.Errorf("load: scenario %s group %s: count %d", s.Name, g.Prefix, g.Count)
+		}
+	}
+	return nil
+}
+
+// Tags returns the total fleet size.
+func (s *Scenario) Tags() int {
+	n := 0
+	for _, g := range s.Fleet {
+		n += g.Count
+	}
+	return n
+}
+
+// defaultSLO is the baseline target set shared by the library; scenarios
+// tighten or loosen individual bounds. The bounds are deliberately sized
+// for a loaded single-machine CI box, not an idle workstation: macro SLO
+// snapshots are committed and guarded per-PR, so a flaky bound would make
+// every build a coin flip.
+func defaultSLO() SLO {
+	return SLO{
+		IngestP50:       100 * time.Millisecond,
+		IngestP95:       250 * time.Millisecond,
+		IngestP99:       500 * time.Millisecond,
+		StalenessP99:    5 * time.Second,
+		MaxDropRate:     0.01,
+		MaxErrorRate:    0.01,
+		AlertLatencyMax: 30 * time.Second,
+		AgreeFactor:     5,
+		AgreeSlack:      100 * time.Millisecond,
+	}
+}
+
+// Scenarios returns the built-in library, sorted by name. Each entry
+// models one deployment pattern from the sim testbed's repertoire.
+func Scenarios() []*Scenario {
+	rampSteadySpikeDrain := []Phase{
+		{Name: "ramp", Frac: 0.2, RateScale: 0.5},
+		{Name: "steady", Frac: 0.45, RateScale: 1},
+		{Name: "spike", Frac: 0.15, RateScale: 2},
+		{Name: "drain", Frac: 0.2, RateScale: 0.25},
+	}
+	lib := []*Scenario{
+		{
+			Name: "portal",
+			Description: "warehouse portal: pallets of tags pushed through a " +
+				"dock-frame antenna in a steady stream with a receiving-dock spike",
+			Fleet: []TagGroup{
+				{Prefix: "PORTAL", Count: 48, Trajectory: "linear", Speed: 1.0, Span: 1.2},
+				{Prefix: "PALLET", Count: 16, Trajectory: "linear", Speed: 0.6, Span: 1.2},
+			},
+			Phases:          rampSteadySpikeDrain,
+			DefaultRate:     2000,
+			DefaultDuration: 30 * time.Second,
+			SLO:             defaultSLO(),
+		},
+		{
+			Name: "conveyor",
+			Description: "conveyor belt: a constant stream of single tags at " +
+				"belt speed, the steadiest shape in the library",
+			Fleet: []TagGroup{
+				{Prefix: "BELT", Count: 32, Trajectory: "linear", Speed: 0.4, Span: 1.2},
+			},
+			Phases: []Phase{
+				{Name: "ramp", Frac: 0.15, RateScale: 0.5},
+				{Name: "steady", Frac: 0.7, RateScale: 1},
+				{Name: "drain", Frac: 0.15, RateScale: 0.25},
+			},
+			DefaultRate:     1500,
+			DefaultDuration: 30 * time.Second,
+			SLO:             defaultSLO(),
+		},
+		{
+			Name: "dockdoor",
+			Description: "dock door: bursty truck arrivals — short violent " +
+				"spikes over a low idle floor, the hardest tail shape",
+			Fleet: []TagGroup{
+				{Prefix: "DOCK", Count: 96, Trajectory: "linear", Speed: 1.2, Span: 1.6},
+			},
+			Phases: []Phase{
+				{Name: "idle", Frac: 0.2, RateScale: 0.1},
+				{Name: "arrival", Frac: 0.2, RateScale: 2},
+				{Name: "lull", Frac: 0.2, RateScale: 0.1},
+				{Name: "arrival2", Frac: 0.2, RateScale: 2},
+				{Name: "drain", Frac: 0.2, RateScale: 0.05},
+			},
+			DefaultRate:     2500,
+			DefaultDuration: 30 * time.Second,
+			SLO:             defaultSLO(),
+		},
+		{
+			Name: "turntable",
+			Description: "turntable: few tags re-read continuously on a " +
+				"rotating fixture — low fleet churn, high per-tag rate",
+			Fleet: []TagGroup{
+				{Prefix: "TABLE", Count: 8, Trajectory: "circle", Speed: 0.3, Span: 0.2},
+			},
+			Phases: []Phase{
+				{Name: "ramp", Frac: 0.2, RateScale: 0.5},
+				{Name: "steady", Frac: 0.6, RateScale: 1},
+				{Name: "drain", Frac: 0.2, RateScale: 0.5},
+			},
+			DefaultRate:     1000,
+			DefaultDuration: 30 * time.Second,
+			SLO:             defaultSLO(),
+		},
+		{
+			Name: "smoke",
+			Description: "CI smoke: a two-phase miniature of portal sized for " +
+				"`make load-smoke` — seconds long, modest rate, full verdict",
+			Fleet: []TagGroup{
+				{Prefix: "SMOKE", Count: 8, Trajectory: "linear", Speed: 0.8, Span: 1.2},
+			},
+			Phases: []Phase{
+				{Name: "ramp", Frac: 0.4, RateScale: 0.5},
+				{Name: "steady", Frac: 0.6, RateScale: 1},
+			},
+			DefaultRate:     500,
+			DefaultDuration: 4 * time.Second,
+			SLO:             defaultSLO(),
+		},
+	}
+	sort.Slice(lib, func(i, j int) bool { return lib[i].Name < lib[j].Name })
+	return lib
+}
+
+// Lookup returns the named library scenario.
+func Lookup(name string) (*Scenario, error) {
+	var names []string
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+		names = append(names, s.Name)
+	}
+	return nil, fmt.Errorf("load: unknown scenario %q (have %s)", name, strings.Join(names, ", "))
+}

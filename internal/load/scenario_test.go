@@ -1,0 +1,63 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScenarioLibraryValid(t *testing.T) {
+	lib := Scenarios()
+	if len(lib) < 4 {
+		t.Fatalf("library has %d scenarios, want at least 4", len(lib))
+	}
+	seen := map[string]bool{}
+	for _, sc := range lib {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("scenario %s invalid: %v", sc.Name, err)
+		}
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario %s", sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.DefaultRate <= 0 || sc.DefaultDuration <= 0 {
+			t.Errorf("scenario %s has no defaults", sc.Name)
+		}
+		if sc.Tags() <= 0 {
+			t.Errorf("scenario %s has no tags", sc.Name)
+		}
+		if sc.SLO.IngestP99 <= 0 {
+			t.Errorf("scenario %s has no ingest p99 SLO", sc.Name)
+		}
+	}
+	for _, want := range []string{"portal", "conveyor", "dockdoor", "turntable", "smoke"} {
+		if !seen[want] {
+			t.Errorf("library missing scenario %s", want)
+		}
+	}
+}
+
+func TestScenarioLookup(t *testing.T) {
+	sc, err := Lookup("portal")
+	if err != nil || sc.Name != "portal" {
+		t.Fatalf("Lookup(portal) = %v, %v", sc, err)
+	}
+	if _, err := Lookup("nope"); err == nil || !strings.Contains(err.Error(), "portal") {
+		t.Fatalf("unknown lookup error %v should list known scenarios", err)
+	}
+}
+
+func TestScenarioValidateRejects(t *testing.T) {
+	bad := &Scenario{
+		Name:   "bad",
+		Fleet:  []TagGroup{{Prefix: "X", Count: 1}},
+		Phases: []Phase{{Name: "only", Frac: 0.5, RateScale: 1}},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("phase fractions summing to 0.5 accepted")
+	}
+	bad.Phases = []Phase{{Name: "only", Frac: 1, RateScale: 1}}
+	bad.Fleet[0].Count = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero-count fleet group accepted")
+	}
+}

@@ -1,0 +1,236 @@
+package load
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Quantiles is one latency dimension as served by /v1/slo — liond's flat
+// document and lionroute's cluster rollup share the shape.
+type Quantiles struct {
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Count uint64  `json:"count"`
+}
+
+// DimSummary is what the scraper retains about one SLO dimension over a run:
+// the worst p99 any scrape reported (SLOs are judged against the worst
+// window, not the last), and the final scrape's full quantile set.
+type DimSummary struct {
+	WorstP99 float64
+	Last     Quantiles
+}
+
+// ScrapeSummary is the server-side half of a run's evidence.
+type ScrapeSummary struct {
+	// Dims maps /v1/slo dimension keys ("staleness_seconds", ...) to their
+	// over-the-run summaries.
+	Dims map[string]*DimSummary
+	// AlertLatency is the worst alert_latency_seconds reported; AlertSeen
+	// records whether any scrape reported one at all.
+	AlertLatency float64
+	AlertSeen    bool
+	// Counters holds the final /metrics counter readings, summed across
+	// label sets per metric name.
+	Counters map[string]float64
+	// Scrapes and Errors count poll attempts and failures.
+	Scrapes int
+	Errors  int
+}
+
+// Scraper polls a target's /v1/slo and /metrics during a load run so
+// client-observed latency can be correlated with what the server believes
+// about itself. It understands both document shapes: liond's flat map and
+// lionroute's {"shards":…,"cluster":…} rollup (the cluster section is used).
+type Scraper struct {
+	client *http.Client
+	base   string
+
+	mu  sync.Mutex
+	sum ScrapeSummary
+}
+
+// NewScraper builds a scraper for the target base URL. A nil client uses
+// http.DefaultClient.
+func NewScraper(client *http.Client, base string) *Scraper {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Scraper{
+		client: client,
+		base:   base,
+		sum: ScrapeSummary{
+			Dims:     map[string]*DimSummary{},
+			Counters: map[string]float64{},
+		},
+	}
+}
+
+// Run polls every interval until ctx is cancelled, then takes one final
+// scrape so the post-drain state is always captured.
+func (s *Scraper) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			s.Scrape()
+			return
+		case <-t.C:
+			s.Scrape()
+		}
+	}
+}
+
+// Scrape performs one poll of both endpoints.
+func (s *Scraper) Scrape() {
+	doc, sloErr := s.fetchSLO()
+	counters, metErr := s.fetchCounters()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sum.Scrapes++
+	if sloErr != nil || metErr != nil {
+		s.sum.Errors++
+	}
+	for key, q := range doc.dims {
+		d := s.sum.Dims[key]
+		if d == nil {
+			d = &DimSummary{}
+			s.sum.Dims[key] = d
+		}
+		if q.P99 > d.WorstP99 {
+			d.WorstP99 = q.P99
+		}
+		d.Last = q
+	}
+	if doc.alertSeen {
+		s.sum.AlertSeen = true
+		if doc.alert > s.sum.AlertLatency {
+			s.sum.AlertLatency = doc.alert
+		}
+	}
+	for name, v := range counters {
+		s.sum.Counters[name] = v
+	}
+}
+
+// Summary returns a copy of everything scraped so far.
+func (s *Scraper) Summary() ScrapeSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := ScrapeSummary{
+		Dims:         make(map[string]*DimSummary, len(s.sum.Dims)),
+		AlertLatency: s.sum.AlertLatency,
+		AlertSeen:    s.sum.AlertSeen,
+		Counters:     make(map[string]float64, len(s.sum.Counters)),
+		Scrapes:      s.sum.Scrapes,
+		Errors:       s.sum.Errors,
+	}
+	for k, d := range s.sum.Dims {
+		c := *d
+		out.Dims[k] = &c
+	}
+	for k, v := range s.sum.Counters {
+		out.Counters[k] = v
+	}
+	return out
+}
+
+// sloDoc is one parsed /v1/slo response.
+type sloDoc struct {
+	dims      map[string]Quantiles
+	alert     float64
+	alertSeen bool
+}
+
+// fetchSLO fetches and normalises /v1/slo. A router response carries the
+// dimensions under "cluster"; a liond response is the flat document itself.
+func (s *Scraper) fetchSLO() (sloDoc, error) {
+	doc := sloDoc{dims: map[string]Quantiles{}}
+	resp, err := s.client.Get(s.base + "/v1/slo")
+	if err != nil {
+		return doc, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return doc, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return doc, fmt.Errorf("load: /v1/slo status %d", resp.StatusCode)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		return doc, fmt.Errorf("load: /v1/slo: %w", err)
+	}
+	if cluster, ok := raw["cluster"]; ok {
+		var inner map[string]json.RawMessage
+		if err := json.Unmarshal(cluster, &inner); err != nil {
+			return doc, fmt.Errorf("load: /v1/slo cluster section: %w", err)
+		}
+		raw = inner
+	}
+	for key, msg := range raw {
+		if key == "alert_latency_seconds" {
+			if json.Unmarshal(msg, &doc.alert) == nil {
+				doc.alertSeen = true
+			}
+			continue
+		}
+		var q Quantiles
+		if json.Unmarshal(msg, &q) == nil {
+			doc.dims[key] = q
+		}
+	}
+	return doc, nil
+}
+
+// fetchCounters fetches /metrics and sums every sample per base metric name.
+// The parser handles exactly the subset the registry emits: `name value` and
+// `name{labels} value` lines plus # comments — it is a run correlator, not a
+// general Prometheus client.
+func (s *Scraper) fetchCounters() (map[string]float64, error) {
+	resp, err := s.client.Get(s.base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: /metrics status %d", resp.StatusCode)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(io.LimitReader(resp.Body, 4<<20))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		name := line[:sp]
+		if b := strings.IndexByte(name, '{'); b >= 0 {
+			name = name[:b]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[sp+1:]), 64)
+		if err != nil {
+			continue
+		}
+		out[name] += v
+	}
+	return out, sc.Err()
+}

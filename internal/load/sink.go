@@ -1,0 +1,75 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/rfid-lion/lion/internal/dataset"
+)
+
+// Sink delivers one batch of samples and reports the server's per-sample
+// verdict. Implementations are used from exactly one worker goroutine each.
+type Sink interface {
+	// Send delivers batch and returns how many samples the server accepted
+	// and how many it dropped or rejected. A transport or HTTP-status error
+	// means the whole batch is unaccounted for.
+	Send(batch []dataset.TaggedSample) (accepted, dropped int, err error)
+}
+
+// HTTPSink posts batches to a liond or lionroute /v1/samples endpoint with
+// the chosen codec, reusing one encode buffer across sends. It understands
+// both servers' ingest responses: liond answers {"accepted","dropped"},
+// the router {"accepted","rejected"}.
+type HTTPSink struct {
+	client *http.Client
+	url    string
+	codec  dataset.Codec
+	buf    bytes.Buffer
+}
+
+// NewHTTPSink builds a sink for the target base URL ("http://host:port").
+// A nil client uses http.DefaultClient.
+func NewHTTPSink(client *http.Client, base string, codec dataset.Codec) *HTTPSink {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPSink{client: client, url: base + "/v1/samples", codec: codec}
+}
+
+// ingestReply covers both server shapes.
+type ingestReply struct {
+	Accepted int    `json:"accepted"`
+	Dropped  int    `json:"dropped"`
+	Rejected int    `json:"rejected"`
+	Error    string `json:"error"`
+}
+
+// Send implements Sink.
+func (s *HTTPSink) Send(batch []dataset.TaggedSample) (int, int, error) {
+	s.buf.Reset()
+	if err := s.codec.Encode(&s.buf, batch); err != nil {
+		return 0, 0, err
+	}
+	req, err := http.NewRequest(http.MethodPost, s.url, bytes.NewReader(s.buf.Bytes()))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", s.codec.ContentType())
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var reply ingestReply
+	dec := json.NewDecoder(io.LimitReader(resp.Body, 1<<20))
+	if err := dec.Decode(&reply); err != nil && resp.StatusCode == http.StatusOK {
+		return 0, 0, fmt.Errorf("load: bad ingest reply: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("load: ingest status %d: %s", resp.StatusCode, reply.Error)
+	}
+	return reply.Accepted, reply.Dropped + reply.Rejected, nil
+}

@@ -12,30 +12,27 @@
 //   - ns_per_op is guarded only for the names listed with -ns (wall clock is
 //     noisy; the guarded list holds the benchmarks whose latency is a
 //     product requirement).
+//   - Macro SLO fields (the "macro" section lionload merges into a
+//     snapshot) are guarded against their declared targets, not against the
+//     previous snapshot: a committed BENCH file whose measured macro value
+//     exceeds its own SLO target is a failing build. When the current
+//     snapshot carries macro entries too (a fresh lionload run), the same
+//     target rule applies to them, and any macro name present in the
+//     baseline but missing from a macro-carrying current snapshot is a
+//     coverage regression.
 //
 // Exit status 1 on any violation, with one line per finding.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+
+	"github.com/rfid-lion/lion/internal/benchfmt"
 )
-
-// benchResult mirrors cmd/lionbench's snapshot entry (additive schema).
-type benchResult struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-}
-
-type benchSnapshot struct {
-	Schema     string        `json:"schema"`
-	Benchmarks []benchResult `json:"benchmarks"`
-}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -56,6 +53,8 @@ func run(args []string, stdout io.Writer) error {
 		// product requirement — wall clock there is all measurement noise.
 		nsNames = fs.String("ns", "locate_2d_line,stream_resolve_incremental,wire_decode",
 			"comma-separated benchmark names whose ns_per_op is guarded")
+		macro = fs.Bool("macro", true,
+			"guard macro SLO fields against their declared targets")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,11 +62,11 @@ func run(args []string, stdout io.Writer) error {
 	if *currentPath == "" {
 		return fmt.Errorf("-current is required")
 	}
-	baseline, err := readSnapshot(*baselinePath)
+	baseline, err := benchfmt.Read(*baselinePath)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
 	}
-	current, err := readSnapshot(*currentPath)
+	current, err := benchfmt.Read(*currentPath)
 	if err != nil {
 		return fmt.Errorf("current: %w", err)
 	}
@@ -78,35 +77,23 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	findings := compare(baseline, current, *maxShift, guardNS)
+	if *macro {
+		findings = append(findings, compareMacro(baseline, current)...)
+	}
 	for _, f := range findings {
 		fmt.Fprintln(stdout, f)
 	}
 	if len(findings) > 0 {
 		return fmt.Errorf("%d regression(s) against %s", len(findings), *baselinePath)
 	}
-	fmt.Fprintf(stdout, "benchguard: %d benchmarks within %.0f%% of %s\n",
-		len(baseline.Benchmarks), *maxShift*100, *baselinePath)
+	fmt.Fprintf(stdout, "benchguard: %d benchmarks within %.0f%% of %s, %d macro SLO fields on target\n",
+		len(baseline.Benchmarks), *maxShift*100, *baselinePath, len(baseline.Macro))
 	return nil
 }
 
-func readSnapshot(path string) (*benchSnapshot, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var snap benchSnapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	if !strings.HasPrefix(snap.Schema, "lionbench/") {
-		return nil, fmt.Errorf("%s: unknown schema %q", path, snap.Schema)
-	}
-	return &snap, nil
-}
-
-// compare returns one human-readable finding per violated rule.
-func compare(baseline, current *benchSnapshot, maxShift float64, guardNS map[string]bool) []string {
-	cur := map[string]benchResult{}
+// compare returns one human-readable finding per violated micro rule.
+func compare(baseline, current *benchfmt.Snapshot, maxShift float64, guardNS map[string]bool) []string {
+	cur := map[string]benchfmt.Bench{}
 	for _, b := range current.Benchmarks {
 		cur[b.Name] = b
 	}
@@ -129,6 +116,42 @@ func compare(baseline, current *benchSnapshot, maxShift float64, guardNS map[str
 					fmt.Sprintf("%s: %.0f ns/op, baseline %.0f (budget %.0f)",
 						base.Name, got.NsPerOp, base.NsPerOp, allowed))
 			}
+		}
+	}
+	return findings
+}
+
+// compareMacro guards the macro SLO section. Macro measurements are
+// end-to-end wall-clock numbers from a real load run, so the guard is
+// absolute — Value <= declared Target — applied to the committed baseline
+// (the snapshot of record must meet its own SLOs) and, when present, to a
+// freshly measured current macro section. Coverage is only compared when
+// the current snapshot carries macro entries at all: a plain lionbench run
+// legitimately has none.
+func compareMacro(baseline, current *benchfmt.Snapshot) []string {
+	var findings []string
+	check := func(origin string, entries []benchfmt.Macro) {
+		for _, m := range entries {
+			if !m.Pass() {
+				findings = append(findings,
+					fmt.Sprintf("macro %s (%s): %g %s over target %g %s",
+						m.Name, origin, m.Value, m.Unit, m.Target, m.Unit))
+			}
+		}
+	}
+	check("baseline", baseline.Macro)
+	if len(current.Macro) == 0 {
+		return findings
+	}
+	check("current", current.Macro)
+	cur := map[string]bool{}
+	for _, m := range current.Macro {
+		cur[m.Name] = true
+	}
+	for _, m := range baseline.Macro {
+		if !cur[m.Name] {
+			findings = append(findings,
+				fmt.Sprintf("macro %s: missing from current snapshot", m.Name))
 		}
 	}
 	return findings

@@ -1,24 +1,26 @@
 package main
 
 import (
+	"github.com/rfid-lion/lion/internal/benchfmt"
+
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
-func snap(benchmarks ...benchResult) *benchSnapshot {
-	return &benchSnapshot{Schema: "lionbench/1", Benchmarks: benchmarks}
+func snap(benchmarks ...benchfmt.Bench) *benchfmt.Snapshot {
+	return &benchfmt.Snapshot{Schema: "lionbench/1", Benchmarks: benchmarks}
 }
 
 func TestCompareCleanPass(t *testing.T) {
 	base := snap(
-		benchResult{Name: "locate_2d_line", NsPerOp: 50000, AllocsPerOp: 100},
-		benchResult{Name: "stream_resolve_incremental", NsPerOp: 8000, AllocsPerOp: 0},
+		benchfmt.Bench{Name: "locate_2d_line", NsPerOp: 50000, AllocsPerOp: 100},
+		benchfmt.Bench{Name: "stream_resolve_incremental", NsPerOp: 8000, AllocsPerOp: 0},
 	)
 	cur := snap(
-		benchResult{Name: "locate_2d_line", NsPerOp: 54000, AllocsPerOp: 100},
-		benchResult{Name: "stream_resolve_incremental", NsPerOp: 8500, AllocsPerOp: 0},
+		benchfmt.Bench{Name: "locate_2d_line", NsPerOp: 54000, AllocsPerOp: 100},
+		benchfmt.Bench{Name: "stream_resolve_incremental", NsPerOp: 8500, AllocsPerOp: 0},
 	)
 	guard := map[string]bool{"locate_2d_line": true, "stream_resolve_incremental": true}
 	if f := compare(base, cur, 0.10, guard); len(f) != 0 {
@@ -27,8 +29,8 @@ func TestCompareCleanPass(t *testing.T) {
 }
 
 func TestCompareNsRegression(t *testing.T) {
-	base := snap(benchResult{Name: "locate_2d_line", NsPerOp: 50000, AllocsPerOp: 100})
-	cur := snap(benchResult{Name: "locate_2d_line", NsPerOp: 56000, AllocsPerOp: 100})
+	base := snap(benchfmt.Bench{Name: "locate_2d_line", NsPerOp: 50000, AllocsPerOp: 100})
+	cur := snap(benchfmt.Bench{Name: "locate_2d_line", NsPerOp: 56000, AllocsPerOp: 100})
 	guard := map[string]bool{"locate_2d_line": true}
 	f := compare(base, cur, 0.10, guard)
 	if len(f) != 1 || !strings.Contains(f[0], "ns/op") {
@@ -43,12 +45,12 @@ func TestCompareNsRegression(t *testing.T) {
 
 func TestCompareAllocRegression(t *testing.T) {
 	base := snap(
-		benchResult{Name: "locate_2d_line", NsPerOp: 50000, AllocsPerOp: 100},
-		benchResult{Name: "stream_resolve_incremental", NsPerOp: 8000, AllocsPerOp: 0},
+		benchfmt.Bench{Name: "locate_2d_line", NsPerOp: 50000, AllocsPerOp: 100},
+		benchfmt.Bench{Name: "stream_resolve_incremental", NsPerOp: 8000, AllocsPerOp: 0},
 	)
 	cur := snap(
-		benchResult{Name: "locate_2d_line", NsPerOp: 50000, AllocsPerOp: 112},
-		benchResult{Name: "stream_resolve_incremental", NsPerOp: 8000, AllocsPerOp: 1},
+		benchfmt.Bench{Name: "locate_2d_line", NsPerOp: 50000, AllocsPerOp: 112},
+		benchfmt.Bench{Name: "stream_resolve_incremental", NsPerOp: 8000, AllocsPerOp: 1},
 	)
 	f := compare(base, cur, 0.10, nil)
 	if len(f) != 2 {
@@ -59,10 +61,10 @@ func TestCompareAllocRegression(t *testing.T) {
 
 func TestCompareMissingBenchmark(t *testing.T) {
 	base := snap(
-		benchResult{Name: "locate_2d_line", NsPerOp: 50000, AllocsPerOp: 100},
-		benchResult{Name: "stream_resolve_incremental", NsPerOp: 8000, AllocsPerOp: 0},
+		benchfmt.Bench{Name: "locate_2d_line", NsPerOp: 50000, AllocsPerOp: 100},
+		benchfmt.Bench{Name: "stream_resolve_incremental", NsPerOp: 8000, AllocsPerOp: 0},
 	)
-	cur := snap(benchResult{Name: "locate_2d_line", NsPerOp: 50000, AllocsPerOp: 100})
+	cur := snap(benchfmt.Bench{Name: "locate_2d_line", NsPerOp: 50000, AllocsPerOp: 100})
 	f := compare(base, cur, 0.10, nil)
 	if len(f) != 1 || !strings.Contains(f[0], "missing") {
 		t.Fatalf("want one missing-benchmark finding, got %v", f)
@@ -103,5 +105,75 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := run([]string{"-baseline", base, "-current",
 		write("wrong.json", `{"schema":"other/1","benchmarks":[]}`)}, &out); err == nil {
 		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestCompareMacroTargets(t *testing.T) {
+	base := snap()
+	base.Macro = []benchfmt.Macro{
+		{Name: "portal/ingest_p99_seconds", Scenario: "portal", Metric: "ingest_p99_seconds",
+			Value: 0.040, Target: 0.250, Unit: "seconds"},
+		{Name: "portal/drop_rate", Scenario: "portal", Metric: "drop_rate",
+			Value: 0, Target: 0.01, Unit: "ratio"},
+		{Name: "portal/trend_only", Scenario: "portal", Metric: "trend_only",
+			Value: 123, Unit: "seconds"}, // no target: recorded, never guarded
+	}
+
+	// A lionbench-only current snapshot (no macro section) only guards the
+	// baseline's own targets.
+	if f := compareMacro(base, snap()); len(f) != 0 {
+		t.Fatalf("clean baseline flagged: %v", f)
+	}
+
+	// Baseline over its own target fails even with no current macro section:
+	// the committed snapshot of record must meet its SLOs.
+	over := snap()
+	over.Macro = []benchfmt.Macro{{Name: "portal/ingest_p99_seconds", Scenario: "portal",
+		Metric: "ingest_p99_seconds", Value: 0.300, Target: 0.250, Unit: "seconds"}}
+	if f := compareMacro(over, snap()); len(f) != 1 || !strings.Contains(f[0], "over target") {
+		t.Fatalf("want one over-target finding, got %v", f)
+	}
+
+	// A macro-carrying current snapshot is held to the same target rule and
+	// to baseline coverage.
+	cur := snap()
+	cur.Macro = []benchfmt.Macro{{Name: "portal/ingest_p99_seconds", Scenario: "portal",
+		Metric: "ingest_p99_seconds", Value: 0.400, Target: 0.250, Unit: "seconds"}}
+	f := compareMacro(base, cur)
+	var overTarget, missing int
+	for _, s := range f {
+		if strings.Contains(s, "over target") {
+			overTarget++
+		}
+		if strings.Contains(s, "missing") {
+			missing++
+		}
+	}
+	if overTarget != 1 || missing != 2 {
+		t.Fatalf("want 1 over-target + 2 missing-coverage findings, got %v", f)
+	}
+}
+
+func TestRunMacroEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := write("base.json", `{"schema":"lionbench/1","benchmarks":[],
+		"macro":[{"name":"portal/ingest_p99_seconds","scenario":"portal",
+		"metric":"ingest_p99_seconds","value":0.3,"target":0.25,"unit":"seconds"}]}`)
+	cur := write("cur.json", `{"schema":"lionbench/1","benchmarks":[]}`)
+	var out strings.Builder
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err == nil {
+		t.Fatalf("over-target macro baseline passed:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-baseline", base, "-current", cur, "-macro=false"}, &out); err != nil {
+		t.Fatalf("-macro=false still guarded: %v\n%s", err, out.String())
 	}
 }
